@@ -1,0 +1,54 @@
+//! End-to-end simulator throughput per mechanism (references/second): the
+//! number that determines how long the figure harness takes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use energy_model::presets::demo_scale;
+use sim::{run_traces, CoreTrace, Mechanism, SimConfig};
+use workloads::{Benchmark, Scale};
+
+const REFS: usize = 5_000;
+
+fn traces() -> Vec<CoreTrace> {
+    (0..8).map(|c| Benchmark::Mcf.trace(c, Scale::Smoke)).collect()
+}
+
+fn mechanisms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((REFS * 8) as u64));
+    for mech in [
+        Mechanism::Base,
+        Mechanism::Redhip,
+        Mechanism::Cbf,
+        Mechanism::Phased,
+        Mechanism::Oracle,
+    ] {
+        g.bench_function(format!("{}_40k_refs", mech.name()), |b| {
+            let mut cfg = SimConfig::new(demo_scale(), mech);
+            cfg.refs_per_core = REFS;
+            cfg.recalib_period = Some(8_192);
+            b.iter_batched(
+                traces,
+                |t| run_traces(&cfg, t),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn prefetch_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_prefetch");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((REFS * 8) as u64));
+    g.bench_function("base_plus_stride_prefetch", |b| {
+        let mut cfg = SimConfig::new(demo_scale(), Mechanism::Base);
+        cfg.refs_per_core = REFS;
+        cfg.prefetch = Some(prefetch::StrideConfig::default());
+        b.iter_batched(traces, |t| run_traces(&cfg, t), BatchSize::PerIteration)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, mechanisms, prefetch_overhead);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Throughput of every workload generator — trace generation must stay far
+//! cheaper than simulation so the figure harness is simulator-bound.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use workloads::{Benchmark, Scale};
+
+fn generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_gen");
+    g.throughput(Throughput::Elements(10_000));
+    for bench in Benchmark::ALL {
+        g.bench_function(bench.name(), |b| {
+            // Construction cost (graph building etc.) is paid once outside
+            // the timed loop, as the simulator does.
+            let mut stream = bench.trace(0, Scale::Smoke);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..10_000 {
+                    acc ^= stream.next().expect("infinite").addr;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, generators);
+criterion_main!(benches);

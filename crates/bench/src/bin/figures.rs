@@ -1,0 +1,173 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! figures [TARGETS...] [--scale smoke|demo|paper] [--refs N] [--out DIR]
+//!
+//! TARGETS: all (default) | table1 | fig1 | fig6..fig15 | core (fig6-10)
+//!          | sweeps (fig11-13) | prefetch (fig14-15) | ablations
+//! ```
+//!
+//! Text renders to stdout; structured results land in `DIR/<name>.json`
+//! (default `results/`).
+
+use bench::figures::{self, FigureOutput, Settings};
+use bench::harness::FigureScale;
+use bench::{ablate, figdata};
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [all|core|sweeps|prefetch|ablations|table1|fig1|fig6..fig15]... \
+         [--scale smoke|demo|paper] [--refs N] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    targets: BTreeSet<String>,
+    scale: FigureScale,
+    refs: Option<usize>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut targets = BTreeSet::new();
+    let mut scale = FigureScale::Demo;
+    let mut refs = None;
+    let mut out = PathBuf::from("results");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                scale = FigureScale::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--refs" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                refs = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--out" => {
+                out = PathBuf::from(it.next().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            t if t.starts_with('-') => usage(),
+            t => {
+                targets.insert(t.to_string());
+            }
+        }
+    }
+    if targets.is_empty() {
+        targets.insert("all".to_string());
+    }
+    Args {
+        targets,
+        scale,
+        refs,
+        out,
+    }
+}
+
+fn wants(args: &Args, name: &str, group: &str) -> bool {
+    args.targets.contains("all") || args.targets.contains(name) || args.targets.contains(group)
+}
+
+fn emit(args: &Args, f: &FigureOutput) {
+    println!("{}", f.text);
+    std::fs::create_dir_all(&args.out).expect("create results dir");
+    let path = args.out.join(format!("{}.json", f.name));
+    let mut file = std::fs::File::create(&path).expect("create json");
+    file.write_all(serde_json::to_string_pretty(&f.json).expect("json").as_bytes())
+        .expect("write json");
+    eprintln!("[figures] wrote {}", path.display());
+}
+
+fn main() {
+    let args = parse_args();
+    let settings = Settings::new(args.scale, args.refs);
+    eprintln!(
+        "[figures] scale={:?} refs/core={} workloads={} targets={:?}",
+        args.scale,
+        settings.refs,
+        settings.workloads.len(),
+        args.targets
+    );
+    let t0 = std::time::Instant::now();
+
+    if wants(&args, "table1", "core") {
+        emit(&args, &figures::table1(args.scale));
+    }
+    if wants(&args, "fig1", "core") {
+        emit(
+            &args,
+            &FigureOutput {
+                name: "fig1",
+                title: "Cache sizes by year".into(),
+                text: figdata::render_figure1(),
+                json: serde_json::json!(figdata::FIGURE1
+                    .iter()
+                    .map(|p| serde_json::json!({"year": p.year, "level": p.level, "kb": p.kb}))
+                    .collect::<Vec<_>>()),
+            },
+        );
+    }
+
+    let need_matrix = ["fig6", "fig7", "fig8", "fig9", "fig10"]
+        .iter()
+        .any(|n| wants(&args, n, "core"));
+    if need_matrix {
+        eprintln!(
+            "[figures] running the {}x5 mechanism matrix ...",
+            settings.workloads.len()
+        );
+        let m = figures::run_matrix(&settings);
+        if wants(&args, "fig6", "core") {
+            emit(&args, &figures::fig6(&m));
+        }
+        if wants(&args, "fig7", "core") {
+            emit(&args, &figures::fig7(&m));
+        }
+        if wants(&args, "fig8", "core") {
+            emit(&args, &figures::fig8(&m));
+        }
+        if wants(&args, "fig9", "core") {
+            emit(&args, &figures::fig9(&m));
+        }
+        if wants(&args, "fig10", "core") {
+            emit(&args, &figures::fig10(&m));
+        }
+    }
+
+    if wants(&args, "fig11", "sweeps") {
+        eprintln!("[figures] fig11: PT size sweep ...");
+        emit(&args, &figures::fig11(&settings));
+    }
+    if wants(&args, "fig12", "sweeps") {
+        eprintln!("[figures] fig12: recalibration period sweep ...");
+        emit(&args, &figures::fig12(&settings));
+    }
+    if wants(&args, "fig13", "sweeps") {
+        eprintln!("[figures] fig13: inclusion policies ...");
+        emit(&args, &figures::fig13(&settings));
+    }
+    if wants(&args, "fig14", "prefetch") || wants(&args, "fig15", "prefetch") {
+        eprintln!("[figures] fig14/15: prefetch interaction ...");
+        let (f14, f15) = figures::fig14_15(&settings);
+        if wants(&args, "fig14", "prefetch") {
+            emit(&args, &f14);
+        }
+        if wants(&args, "fig15", "prefetch") {
+            emit(&args, &f15);
+        }
+    }
+    if args.targets.contains("ablations") || args.targets.contains("all") {
+        eprintln!("[figures] ablations ...");
+        let mut s = settings.clone();
+        s.workloads = ablate::ablation_workloads();
+        for f in ablate::all(&s) {
+            emit(&args, &f);
+        }
+    }
+    eprintln!("[figures] done in {:?}", t0.elapsed());
+}

@@ -1,0 +1,137 @@
+//! `redhip-sim` — run one configuration on one workload and report.
+//!
+//! ```text
+//! redhip-sim --benchmark mcf --mechanism redhip [options]
+//!
+//!   --benchmark NAME     bwaves|GemsFDTD|lbm|mcf|milc|soplex|astar|
+//!                        cactusADM|mix|pmf|blas            (required)
+//!   --mechanism M        base|redhip|cbf|phased|oracle     (default redhip)
+//!   --policy P           inclusive|exclusive|hybrid        (default inclusive)
+//!   --scale S            smoke|demo|paper                  (default demo)
+//!   --refs N             references per core               (default per scale)
+//!   --pt-bytes N         prediction-table size override
+//!   --recalib N          recalibration period in L1 misses (0 = never)
+//!   --prefetch           enable the stride prefetcher
+//!   --compare            also run Base and print the comparison
+//!   --json FILE          write the RunResult as JSON
+//! ```
+
+use bench::harness::{mechanism_config, run_workload, FigureScale};
+use cache_sim::InclusionPolicy;
+use sim::{Comparison, Mechanism};
+use workloads::Benchmark;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut benchmark = None;
+    let mut mechanism = Mechanism::Redhip;
+    let mut policy = InclusionPolicy::Inclusive;
+    let mut scale = FigureScale::Demo;
+    let mut refs: Option<usize> = None;
+    let mut pt_bytes = None;
+    let mut recalib: Option<Option<u64>> = None;
+    let mut prefetch = false;
+    let mut compare = false;
+    let mut json_path: Option<String> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        match a.as_str() {
+            "--benchmark" | "-b" => {
+                let v = next("--benchmark");
+                benchmark =
+                    Some(Benchmark::from_name(&v).unwrap_or_else(|| usage(&format!("unknown benchmark {v}"))));
+            }
+            "--mechanism" | "-m" => {
+                mechanism = match next("--mechanism").to_ascii_lowercase().as_str() {
+                    "base" => Mechanism::Base,
+                    "redhip" => Mechanism::Redhip,
+                    "cbf" => Mechanism::Cbf,
+                    "phased" => Mechanism::Phased,
+                    "oracle" => Mechanism::Oracle,
+                    other => usage(&format!("unknown mechanism {other}")),
+                };
+            }
+            "--policy" | "-p" => {
+                policy = match next("--policy").to_ascii_lowercase().as_str() {
+                    "inclusive" => InclusionPolicy::Inclusive,
+                    "exclusive" => InclusionPolicy::Exclusive,
+                    "hybrid" => InclusionPolicy::Hybrid,
+                    other => usage(&format!("unknown policy {other}")),
+                };
+            }
+            "--scale" => {
+                let v = next("--scale");
+                scale = FigureScale::parse(&v).unwrap_or_else(|| usage(&format!("unknown scale {v}")));
+            }
+            "--refs" => refs = Some(next("--refs").parse().unwrap_or_else(|_| usage("bad --refs"))),
+            "--pt-bytes" => {
+                pt_bytes = Some(next("--pt-bytes").parse().unwrap_or_else(|_| usage("bad --pt-bytes")))
+            }
+            "--recalib" => {
+                let v: u64 = next("--recalib").parse().unwrap_or_else(|_| usage("bad --recalib"));
+                recalib = Some(if v == 0 { None } else { Some(v) });
+            }
+            "--prefetch" => prefetch = true,
+            "--compare" => compare = true,
+            "--json" => json_path = Some(next("--json")),
+            "--help" | "-h" => {
+                eprintln!("see the module docs at the top of redhip-sim.rs");
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    let benchmark = benchmark.unwrap_or_else(|| usage("--benchmark is required"));
+
+    let refs = refs.unwrap_or_else(|| scale.default_refs());
+    let mut cfg = mechanism_config(scale, mechanism, refs);
+    cfg.policy = policy;
+    cfg.pt_bytes = pt_bytes;
+    if let Some(r) = recalib {
+        cfg.recalib_period = r;
+    }
+    if prefetch {
+        cfg.prefetch = Some(prefetch::StrideConfig::default());
+    }
+    if let Err(e) = cfg.validate() {
+        usage(&e);
+    }
+
+    eprintln!(
+        "[redhip-sim] {} / {} / {:?} / {:?} scale, {} refs/core ...",
+        benchmark,
+        mechanism.name(),
+        policy,
+        scale,
+        refs
+    );
+    let result = run_workload(&cfg, benchmark, scale);
+    println!("=== {} under {} ===", benchmark, mechanism.name());
+    print!("{}", sim::report::render(&result));
+
+    if compare && mechanism != Mechanism::Base {
+        let mut base_cfg = cfg.clone();
+        base_cfg.mechanism = Mechanism::Base;
+        base_cfg.prefetch = None;
+        let base = run_workload(&base_cfg, benchmark, scale);
+        let c = Comparison::new(&base, &result);
+        println!("\n=== vs Base ===");
+        println!("speedup              : {:+.2}%", c.speedup() * 100.0);
+        println!("dynamic energy ratio : {:.3}", c.dynamic_ratio());
+        println!("total energy saving  : {:+.2}%", c.total_saving() * 100.0);
+        println!("perf-energy metric   : {:.3}", c.perf_energy_metric());
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&result).expect("serialize");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("[redhip-sim] wrote {path}");
+    }
+}

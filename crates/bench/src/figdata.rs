@@ -1,0 +1,94 @@
+//! Static data for the paper's motivational Figure 1: cache sizes by level
+//! and (approximate) year of first appearance in commercial processors.
+
+/// One point of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePoint {
+    /// Approximate year of appearance.
+    pub year: u32,
+    /// Cache level (1–4).
+    pub level: u8,
+    /// Capacity in kilobytes.
+    pub kb: u64,
+}
+
+/// Figure 1's series, transcribed from the paper's plot (log-2 KB axis,
+/// 1987–2012): L1 from a few KB to tens of KB; L2 appearing in the early
+/// 90s; L3 in the early 2000s; L4 (eDRAM-class) arriving around 2012.
+pub const FIGURE1: &[CachePoint] = &[
+    CachePoint { year: 1987, level: 1, kb: 4 },
+    CachePoint { year: 1992, level: 1, kb: 8 },
+    CachePoint { year: 1997, level: 1, kb: 16 },
+    CachePoint { year: 2002, level: 1, kb: 32 },
+    CachePoint { year: 2007, level: 1, kb: 32 },
+    CachePoint { year: 2012, level: 1, kb: 64 },
+    CachePoint { year: 1992, level: 2, kb: 256 },
+    CachePoint { year: 1997, level: 2, kb: 512 },
+    CachePoint { year: 2002, level: 2, kb: 512 },
+    CachePoint { year: 2007, level: 2, kb: 1024 },
+    CachePoint { year: 2012, level: 2, kb: 256 },
+    CachePoint { year: 2002, level: 3, kb: 2048 },
+    CachePoint { year: 2007, level: 3, kb: 8192 },
+    CachePoint { year: 2012, level: 3, kb: 16384 },
+    CachePoint { year: 2012, level: 4, kb: 65536 },
+];
+
+/// Renders Figure 1 as a text table (rows = level, columns = year).
+pub fn render_figure1() -> String {
+    let years = [1987u32, 1992, 1997, 2002, 2007, 2012];
+    let mut out = String::from(
+        "Figure 1: cache sizes (KB) by level and approximate year of appearance\n",
+    );
+    out.push_str("level ");
+    for y in years {
+        out.push_str(&format!("{y:>8}"));
+    }
+    out.push('\n');
+    for level in 1..=4u8 {
+        out.push_str(&format!("L{level}    "));
+        for y in years {
+            match FIGURE1.iter().find(|p| p.level == level && p.year == y) {
+                Some(p) => out.push_str(&format!("{:>8}", p.kb)),
+                None => out.push_str(&format!("{:>8}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("Trend: deeper every decade; L4 caches appear by 2012 (the paper's premise).\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_grow_down_the_hierarchy() {
+        for year in [2002u32, 2007, 2012] {
+            let mut last = 0;
+            for level in 1..=4u8 {
+                if let Some(p) = FIGURE1.iter().find(|p| p.level == level && p.year == year) {
+                    assert!(p.kb > last, "L{level} in {year} not larger than L{}", level - 1);
+                    last = p.kb;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l4_appears_only_at_the_end() {
+        assert!(FIGURE1
+            .iter()
+            .filter(|p| p.level == 4)
+            .all(|p| p.year >= 2012));
+    }
+
+    #[test]
+    fn render_contains_all_levels() {
+        let s = render_figure1();
+        for l in ["L1", "L2", "L3", "L4"] {
+            assert!(s.contains(l));
+        }
+        assert!(s.contains("65536"));
+    }
+}

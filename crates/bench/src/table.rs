@@ -1,0 +1,102 @@
+//! Plain-text table rendering for the figure harness output.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Formats a percentage cell (`0.083` → `+8.3%`).
+    pub fn pct(v: f64) -> String {
+        format!("{:+.1}%", v * 100.0)
+    }
+
+    /// Formats a ratio cell (`0.39` → `0.390`).
+    pub fn ratio(v: f64) -> String {
+        format!("{v:.3}")
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                // Left-align the first column, right-align the numbers.
+                if c == 0 {
+                    line.push_str(&format!("{:<w$}", cell, w = widths[c]));
+                } else {
+                    line.push_str(&format!("{:>w$}", cell, w = widths[c]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["bench", "Base", "ReDHiP"]);
+        t.row(vec!["bwaves".into(), "1.000".into(), "0.390".into()]);
+        t.row(vec!["mcf".into(), "1.000".into(), "0.512".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("ReDHiP"));
+        assert!(lines[2].starts_with("bwaves"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(TextTable::pct(0.083), "+8.3%");
+        assert_eq!(TextTable::pct(-0.03), "-3.0%");
+        assert_eq!(TextTable::ratio(0.39), "0.390");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,343 @@
+//! One set-associative writeback cache array.
+
+use crate::config::CacheConfig;
+use crate::geometry::BlockGeometry;
+use crate::replacement::ReplacerState;
+
+const META_VALID: u8 = 1;
+const META_DIRTY: u8 = 2;
+
+/// A line evicted or invalidated out of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Block address of the displaced line.
+    pub block: u64,
+    /// Whether the line held modified data (requires a writeback).
+    pub dirty: bool,
+}
+
+/// A set-associative cache storing tags and per-line valid/dirty metadata.
+///
+/// The cache is *mechanically pure*: it tracks residency and replacement
+/// order only. Hit/miss counting, timing and energy belong to the caller
+/// (see `sim`), which keeps this hot path minimal.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geom: BlockGeometry,
+    assoc: usize,
+    tags: Vec<u64>,
+    meta: Vec<u8>,
+    repl: ReplacerState,
+    live_lines: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache from its configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let geom = config.geometry();
+        let lines = (geom.sets() as usize) * config.assoc;
+        Self {
+            geom,
+            assoc: config.assoc,
+            tags: vec![0; lines],
+            meta: vec![0; lines],
+            repl: ReplacerState::new(config.policy, geom.sets() as usize, config.assoc),
+            live_lines: 0,
+        }
+    }
+
+    /// Address geometry of this array.
+    pub fn geometry(&self) -> BlockGeometry {
+        self.geom
+    }
+
+    /// Ways per set.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.geom.sets()
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> u64 {
+        self.live_lines
+    }
+
+    /// Set index for a block address.
+    #[inline]
+    pub fn set_of(&self, block: u64) -> u64 {
+        self.geom.set_of(block)
+    }
+
+    #[inline]
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.assoc;
+        (0..self.assoc)
+            .find(|&w| self.meta[base + w] & META_VALID != 0 && self.tags[base + w] == tag)
+    }
+
+    /// Checks residency without touching replacement state (used by the
+    /// oracle predictor and by invariant checks).
+    #[inline]
+    pub fn probe(&self, block: u64) -> bool {
+        let set = self.geom.set_of(block) as usize;
+        self.find_way(set, self.geom.tag_of(block)).is_some()
+    }
+
+    /// Demand access: on hit updates replacement recency and (for stores)
+    /// the dirty bit. Returns whether the access hit.
+    #[inline]
+    pub fn access(&mut self, block: u64, is_store: bool) -> bool {
+        let set = self.geom.set_of(block) as usize;
+        let tag = self.geom.tag_of(block);
+        match self.find_way(set, tag) {
+            Some(w) => {
+                self.repl.on_hit(set, w, self.assoc);
+                if is_store {
+                    self.meta[set * self.assoc + w] |= META_DIRTY;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `block`, evicting a victim if the set is full. The block must
+    /// not already be resident (enforced in debug builds).
+    pub fn fill(&mut self, block: u64, dirty: bool) -> Option<Evicted> {
+        let set = self.geom.set_of(block) as usize;
+        let tag = self.geom.tag_of(block);
+        debug_assert!(
+            self.find_way(set, tag).is_none(),
+            "fill of already-resident block {block:#x}"
+        );
+        let base = set * self.assoc;
+        // Prefer an invalid way.
+        let mut way = None;
+        for w in 0..self.assoc {
+            if self.meta[base + w] & META_VALID == 0 {
+                way = Some(w);
+                break;
+            }
+        }
+        let (way, evicted) = match way {
+            Some(w) => (w, None),
+            None => {
+                let w = self.repl.victim(set, self.assoc);
+                let old_block = self.geom.block_from_parts(self.tags[base + w], set as u64);
+                let evicted = Evicted {
+                    block: old_block,
+                    dirty: self.meta[base + w] & META_DIRTY != 0,
+                };
+                self.live_lines -= 1;
+                (w, Some(evicted))
+            }
+        };
+        self.tags[base + way] = tag;
+        self.meta[base + way] = META_VALID | if dirty { META_DIRTY } else { 0 };
+        self.repl.on_fill(set, way, self.assoc);
+        self.live_lines += 1;
+        evicted
+    }
+
+    /// Removes `block` if resident, reporting its dirtiness. Used both for
+    /// back-invalidation (inclusive) and for move-up extraction (exclusive).
+    pub fn invalidate(&mut self, block: u64) -> Option<Evicted> {
+        let set = self.geom.set_of(block) as usize;
+        let tag = self.geom.tag_of(block);
+        let w = self.find_way(set, tag)?;
+        let idx = set * self.assoc + w;
+        let dirty = self.meta[idx] & META_DIRTY != 0;
+        self.meta[idx] = 0;
+        self.live_lines -= 1;
+        Some(Evicted { block, dirty })
+    }
+
+    /// Marks a resident block dirty (writeback arriving from an upper level).
+    /// Returns false when the block is not resident.
+    pub fn mark_dirty(&mut self, block: u64) -> bool {
+        let set = self.geom.set_of(block) as usize;
+        let tag = self.geom.tag_of(block);
+        match self.find_way(set, tag) {
+            Some(w) => {
+                self.meta[set * self.assoc + w] |= META_DIRTY;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates the block addresses of all valid lines in `set` — the
+    /// tag-array read that ReDHiP's recalibration hardware performs.
+    pub fn blocks_in_set(&self, set: u64) -> impl Iterator<Item = u64> + '_ {
+        let base = set as usize * self.assoc;
+        (0..self.assoc).filter_map(move |w| {
+            if self.meta[base + w] & META_VALID != 0 {
+                Some(self.geom.block_from_parts(self.tags[base + w], set))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Iterates all resident block addresses (diagnostics / invariants).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.sets()).flat_map(move |s| self.blocks_in_set(s))
+    }
+
+    /// Empties the cache.
+    pub fn flush(&mut self) {
+        self.meta.fill(0);
+        self.live_lines = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::ReplacementPolicy;
+
+    fn small_cache() -> Cache {
+        // 4 sets × 2 ways × 64B blocks.
+        Cache::new(CacheConfig::lru(512, 2, 64))
+    }
+
+    /// Block address landing in `set` with the given tag.
+    fn blk(tag: u64, set: u64) -> u64 {
+        (tag << 2) | set
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small_cache();
+        assert!(!c.access(blk(1, 0), false));
+        assert_eq!(c.fill(blk(1, 0), false), None);
+        assert!(c.access(blk(1, 0), false));
+        assert!(c.probe(blk(1, 0)));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn fill_evicts_lru_victim() {
+        let mut c = small_cache();
+        c.fill(blk(1, 0), false);
+        c.fill(blk(2, 0), false);
+        c.access(blk(1, 0), false); // tag 1 MRU, tag 2 LRU
+        let ev = c.fill(blk(3, 0), false).expect("set full, must evict");
+        assert_eq!(ev.block, blk(2, 0));
+        assert!(!ev.dirty);
+        assert!(c.probe(blk(1, 0)) && c.probe(blk(3, 0)) && !c.probe(blk(2, 0)));
+    }
+
+    #[test]
+    fn store_dirties_line_and_eviction_reports_it() {
+        let mut c = small_cache();
+        c.fill(blk(1, 1), false);
+        c.access(blk(1, 1), true);
+        c.fill(blk(2, 1), false);
+        let ev = c.fill(blk(3, 1), false).unwrap();
+        assert_eq!(ev.block, blk(1, 1));
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn fill_with_dirty_flag() {
+        let mut c = small_cache();
+        c.fill(blk(7, 2), true);
+        let ev = c.invalidate(blk(7, 2)).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_missing_block_is_none() {
+        let mut c = small_cache();
+        assert_eq!(c.invalidate(blk(9, 3)), None);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = small_cache();
+        c.fill(blk(1, 0), false);
+        c.fill(blk(2, 0), false);
+        // Probing tag 1 must NOT refresh it; tag 1 is still LRU.
+        assert!(c.probe(blk(1, 0)));
+        let ev = c.fill(blk(3, 0), false).unwrap();
+        assert_eq!(ev.block, blk(1, 0));
+    }
+
+    #[test]
+    fn mark_dirty_only_when_resident() {
+        let mut c = small_cache();
+        assert!(!c.mark_dirty(blk(1, 0)));
+        c.fill(blk(1, 0), false);
+        assert!(c.mark_dirty(blk(1, 0)));
+        let ev = c.invalidate(blk(1, 0)).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn blocks_in_set_reconstructs_full_addresses() {
+        let mut c = small_cache();
+        c.fill(blk(5, 2), false);
+        c.fill(blk(9, 2), false);
+        let mut in_set: Vec<u64> = c.blocks_in_set(2).collect();
+        in_set.sort_unstable();
+        assert_eq!(in_set, vec![blk(5, 2), blk(9, 2)]);
+        assert_eq!(c.blocks_in_set(0).count(), 0);
+    }
+
+    #[test]
+    fn resident_blocks_and_flush() {
+        let mut c = small_cache();
+        for s in 0..4 {
+            c.fill(blk(1, s), false);
+        }
+        assert_eq!(c.resident_blocks().count(), 4);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.resident_blocks().count(), 0);
+    }
+
+    #[test]
+    fn invalid_ways_are_preferred_over_eviction() {
+        let mut c = small_cache();
+        c.fill(blk(1, 0), false);
+        c.fill(blk(2, 0), false);
+        c.invalidate(blk(1, 0));
+        // Set has a hole; filling must not evict tag 2.
+        assert_eq!(c.fill(blk(3, 0), false), None);
+        assert!(c.probe(blk(2, 0)));
+    }
+
+    #[test]
+    fn random_policy_cache_works_end_to_end() {
+        let mut c = Cache::new(CacheConfig {
+            capacity_bytes: 1024,
+            assoc: 4,
+            block_bytes: 64,
+            policy: ReplacementPolicy::Random,
+        });
+        for i in 0..100u64 {
+            let b = i * 7 + 3;
+            if !c.access(b, false) {
+                c.fill(b, false);
+            }
+        }
+        assert!(c.occupancy() <= 16);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = small_cache();
+        for i in 0..1000u64 {
+            if !c.access(i, i % 3 == 0) {
+                c.fill(i, false);
+            }
+        }
+        assert!(c.occupancy() <= 8);
+    }
+}

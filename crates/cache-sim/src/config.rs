@@ -1,0 +1,62 @@
+//! Static configuration of one cache array.
+
+use crate::geometry::BlockGeometry;
+use crate::replacement::ReplacementPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Ways per set.
+    pub assoc: usize,
+    /// Block size in bytes (64 in the paper).
+    pub block_bytes: u64,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Convenience constructor with LRU replacement.
+    pub fn lru(capacity_bytes: u64, assoc: usize, block_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            assoc,
+            block_bytes,
+            policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Derived geometry. Panics on invalid size combinations (see
+    /// [`BlockGeometry::from_capacity`]).
+    pub fn geometry(&self) -> BlockGeometry {
+        BlockGeometry::from_capacity(self.capacity_bytes, self.assoc, self.block_bytes)
+    }
+
+    /// Total number of cache lines.
+    pub fn lines(&self) -> u64 {
+        self.capacity_bytes / self.block_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_constructor_and_lines() {
+        let c = CacheConfig::lru(256 << 10, 8, 64);
+        assert_eq!(c.policy, ReplacementPolicy::Lru);
+        assert_eq!(c.lines(), 4096);
+        assert_eq!(c.geometry().sets(), 512);
+    }
+
+    #[test]
+    fn table_i_line_counts() {
+        assert_eq!(CacheConfig::lru(32 << 10, 4, 64).lines(), 512); // L1
+        assert_eq!(CacheConfig::lru(256 << 10, 8, 64).lines(), 4096); // L2
+        assert_eq!(CacheConfig::lru(4 << 20, 16, 64).lines(), 65536); // L3
+        assert_eq!(CacheConfig::lru(64 << 20, 16, 64).lines(), 1 << 20); // L4: "1 million tags"
+    }
+}

@@ -1,0 +1,126 @@
+//! Address geometry: splitting a byte address into block offset, set index,
+//! and tag — the format of the paper's Figure 3.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache array. All simulator-internal addressing works on
+/// *block addresses* (`byte_addr >> block_bits`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockGeometry {
+    /// log2 of the block size in bytes (6 → 64-byte blocks, as in the paper).
+    pub block_bits: u32,
+    /// log2 of the number of sets ("k" in the paper's Figure 3).
+    pub set_bits: u32,
+}
+
+impl BlockGeometry {
+    /// Builds a geometry from a total capacity, associativity and block size.
+    ///
+    /// # Panics
+    /// Panics unless `capacity / (assoc × block)` is a power of two ≥ 1.
+    pub fn from_capacity(capacity_bytes: u64, assoc: usize, block_bytes: u64) -> Self {
+        assert!(block_bytes.is_power_of_two(), "block size must be 2^n");
+        assert!(assoc >= 1, "associativity must be ≥ 1");
+        let lines = capacity_bytes / block_bytes;
+        assert!(
+            lines.is_multiple_of(assoc as u64),
+            "capacity {capacity_bytes} not divisible into {assoc}-way sets of {block_bytes}B blocks"
+        );
+        let sets = lines / assoc as u64;
+        assert!(
+            sets.is_power_of_two() && sets >= 1,
+            "set count {sets} must be a power of two"
+        );
+        Self {
+            block_bits: block_bytes.trailing_zeros(),
+            set_bits: sets.trailing_zeros(),
+        }
+    }
+
+    /// Number of sets (2^k).
+    pub fn sets(&self) -> u64 {
+        1 << self.set_bits
+    }
+
+    /// Converts a byte address to a block address.
+    pub fn block_of_addr(&self, addr: u64) -> u64 {
+        addr >> self.block_bits
+    }
+
+    /// Set index of a block address (low `set_bits` bits).
+    pub fn set_of(&self, block: u64) -> u64 {
+        block & (self.sets() - 1)
+    }
+
+    /// Tag of a block address (bits above the set index).
+    pub fn tag_of(&self, block: u64) -> u64 {
+        block >> self.set_bits
+    }
+
+    /// Reconstructs the block address from `(tag, set)` — the inverse of
+    /// [`BlockGeometry::set_of`] / [`BlockGeometry::tag_of`].
+    pub fn block_from_parts(&self, tag: u64, set: u64) -> u64 {
+        (tag << self.set_bits) | set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_l4_geometry() {
+        // 64 MB, 16-way, 64 B blocks → 65536 sets → k = 16 (paper §III-B).
+        let g = BlockGeometry::from_capacity(64 << 20, 16, 64);
+        assert_eq!(g.block_bits, 6);
+        assert_eq!(g.set_bits, 16);
+        assert_eq!(g.sets(), 65536);
+    }
+
+    #[test]
+    fn paper_l1_geometry() {
+        // 32 KB, 4-way, 64 B blocks → 128 sets.
+        let g = BlockGeometry::from_capacity(32 << 10, 4, 64);
+        assert_eq!(g.sets(), 128);
+    }
+
+    #[test]
+    fn split_and_reassemble() {
+        let g = BlockGeometry::from_capacity(4 << 20, 16, 64);
+        let addr = 0xdead_beef_1234u64;
+        let block = g.block_of_addr(addr);
+        assert_eq!(block, addr >> 6);
+        let (tag, set) = (g.tag_of(block), g.set_of(block));
+        assert_eq!(g.block_from_parts(tag, set), block);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two_sets() {
+        let _ = BlockGeometry::from_capacity(96 << 10, 4, 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two_block() {
+        let _ = BlockGeometry::from_capacity(32 << 10, 4, 48);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parts_roundtrip(block in any::<u64>(), set_bits in 0u32..20) {
+            let g = BlockGeometry { block_bits: 6, set_bits };
+            let block = block >> 6; // keep tag within u64 after shift back
+            prop_assert_eq!(g.block_from_parts(g.tag_of(block), g.set_of(block)), block);
+        }
+
+        #[test]
+        fn prop_same_set_blocks_share_low_bits(a in any::<u64>(), b in any::<u64>()) {
+            let g = BlockGeometry { block_bits: 6, set_bits: 12 };
+            if g.set_of(a) == g.set_of(b) {
+                prop_assert_eq!(a & 0xfff, b & 0xfff);
+            }
+        }
+    }
+}

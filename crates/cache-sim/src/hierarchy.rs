@@ -1,0 +1,774 @@
+//! Multi-core deep cache hierarchy with the paper's three inclusion policies.
+//!
+//! The hierarchy exposes *mechanism-agnostic* primitives — `access_first`,
+//! `lookup`, `promote`, `fill_from_memory` — and the `sim` crate sequences
+//! them according to the active mechanism (Base walks every level; ReDHiP
+//! may jump straight from the L1 miss to `fill_from_memory`; the exclusive
+//! multi-table configuration may skip individual levels). All inclusion
+//! bookkeeping (back-invalidation, victim cascading, writeback folding)
+//! happens here so the invariants hold no matter what the mechanism does.
+
+use crate::cache::{Cache, Evicted};
+use crate::config::CacheConfig;
+use crate::traversal::{HierarchyStats, LevelId, Traversal, MEMORY};
+use serde::{Deserialize, Serialize};
+
+/// Inclusion policy of the hierarchy (§III-C of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InclusionPolicy {
+    /// Every level contains all data of the levels above it (paper default).
+    Inclusive,
+    /// Every level holds distinct data; lower levels act as victim caches.
+    Exclusive,
+    /// Private levels (L1..L3) are exclusive among themselves; the shared
+    /// LLC is inclusive of everything.
+    Hybrid,
+}
+
+/// Static description of a hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Number of cores (each gets a private copy of `private_levels`).
+    pub cores: usize,
+    /// Per-core private levels, outermost first (L1, L2, L3, ...).
+    pub private_levels: Vec<CacheConfig>,
+    /// The shared last-level cache.
+    pub shared_llc: CacheConfig,
+    /// Inclusion policy.
+    pub policy: InclusionPolicy,
+}
+
+impl HierarchyConfig {
+    /// Total number of levels including the LLC.
+    pub fn levels(&self) -> usize {
+        self.private_levels.len() + 1
+    }
+}
+
+/// A multi-core hierarchy: per-core private caches plus one shared LLC.
+#[derive(Debug, Clone)]
+pub struct DeepHierarchy {
+    cores: usize,
+    policy: InclusionPolicy,
+    /// `private[core][level]`, level 0 = L1.
+    private: Vec<Vec<Cache>>,
+    shared: Cache,
+    stats: HierarchyStats,
+    levels: u8,
+}
+
+impl DeepHierarchy {
+    /// Builds an empty hierarchy.
+    ///
+    /// # Panics
+    /// Panics if there are no private levels or no cores.
+    pub fn new(config: &HierarchyConfig) -> Self {
+        assert!(config.cores >= 1, "need at least one core");
+        assert!(
+            !config.private_levels.is_empty(),
+            "need at least one private level above the LLC"
+        );
+        let private = (0..config.cores)
+            .map(|_| config.private_levels.iter().map(|c| Cache::new(*c)).collect())
+            .collect();
+        Self {
+            cores: config.cores,
+            policy: config.policy,
+            private,
+            shared: Cache::new(config.shared_llc),
+            stats: HierarchyStats::new(config.levels()),
+            levels: config.levels() as u8,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Number of levels including the LLC.
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// Level index of the shared LLC.
+    pub fn llc_level(&self) -> LevelId {
+        self.levels - 1
+    }
+
+    /// Inclusion policy.
+    pub fn policy(&self) -> InclusionPolicy {
+        self.policy
+    }
+
+    /// Read access to the shared LLC (oracle probes, recalibration).
+    pub fn llc(&self) -> &Cache {
+        &self.shared
+    }
+
+    /// Read access to a private cache (multi-table recalibration).
+    pub fn private_cache(&self, core: usize, level: LevelId) -> &Cache {
+        &self.private[core][level as usize]
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Folds a completed traversal into the aggregate statistics.
+    pub fn absorb_stats(&mut self, t: &Traversal) {
+        self.stats.absorb(t);
+    }
+
+    fn cache_mut(&mut self, core: usize, level: LevelId) -> &mut Cache {
+        if level == self.levels - 1 {
+            &mut self.shared
+        } else {
+            &mut self.private[core][level as usize]
+        }
+    }
+
+    fn cache_ref(&self, core: usize, level: LevelId) -> &Cache {
+        if level == self.levels - 1 {
+            &self.shared
+        } else {
+            &self.private[core][level as usize]
+        }
+    }
+
+    /// L1 demand access. Logs the lookup; returns true on hit.
+    pub fn access_first(&mut self, core: usize, block: u64, is_store: bool, t: &mut Traversal) -> bool {
+        let hit = self.private[core][0].access(block, is_store);
+        t.lookups.push((0, hit));
+        if hit {
+            t.hit_level = Some(0);
+        }
+        hit
+    }
+
+    /// Demand lookup at an arbitrary level (> L1). Logs the lookup and
+    /// updates replacement recency on hit, but performs no data movement —
+    /// follow a hit with [`DeepHierarchy::promote`].
+    pub fn lookup(&mut self, core: usize, level: LevelId, block: u64, t: &mut Traversal) -> bool {
+        debug_assert!(level > 0 && level < self.levels);
+        // Recency is updated on hit; dirtiness is managed during promotion.
+        let hit = self.cache_mut(core, level).access(block, false);
+        t.lookups.push((level, hit));
+        if hit {
+            t.hit_level = Some(level);
+        }
+        hit
+    }
+
+    /// Moves/copies the block found at `hit_level` up to L1 according to the
+    /// inclusion policy.
+    pub fn promote(
+        &mut self,
+        core: usize,
+        hit_level: LevelId,
+        block: u64,
+        is_store: bool,
+        t: &mut Traversal,
+    ) {
+        debug_assert!(hit_level > 0, "L1 hits need no promotion");
+        match self.policy {
+            InclusionPolicy::Inclusive => {
+                // Install into every level above the hit, top of the fill
+                // order being the level just above the hit.
+                for lvl in (0..hit_level).rev() {
+                    let dirty = lvl == 0 && is_store;
+                    self.fill_private_inclusive(core, lvl, block, dirty, t);
+                }
+            }
+            InclusionPolicy::Exclusive => {
+                let ev = self
+                    .cache_mut(core, hit_level)
+                    .invalidate(block)
+                    .expect("exclusive promote: block vanished from hit level");
+                t.removed.push((hit_level, block));
+                self.insert_top_exclusive(core, block, ev.dirty || is_store, self.levels, t);
+            }
+            InclusionPolicy::Hybrid => {
+                if hit_level == self.llc_level() {
+                    // LLC is inclusive: copy up, leave the LLC line resident.
+                    self.insert_top_exclusive(core, block, is_store, self.levels - 1, t);
+                } else {
+                    let ev = self
+                        .cache_mut(core, hit_level)
+                        .invalidate(block)
+                        .expect("hybrid promote: block vanished from hit level");
+                    t.removed.push((hit_level, block));
+                    self.insert_top_exclusive(core, block, ev.dirty || is_store, self.levels - 1, t);
+                }
+            }
+        }
+    }
+
+    /// Brings a block in from memory after a full (or predicted) miss.
+    pub fn fill_from_memory(&mut self, core: usize, block: u64, is_store: bool, t: &mut Traversal) {
+        match self.policy {
+            InclusionPolicy::Inclusive => {
+                self.fill_llc_inclusive(block, t);
+                for lvl in (0..self.levels - 1).rev() {
+                    let dirty = lvl == 0 && is_store;
+                    self.fill_private_inclusive(core, lvl, block, dirty, t);
+                }
+            }
+            InclusionPolicy::Exclusive => {
+                self.insert_top_exclusive(core, block, is_store, self.levels, t);
+            }
+            InclusionPolicy::Hybrid => {
+                self.fill_llc_inclusive(block, t);
+                self.insert_top_exclusive(core, block, is_store, self.levels - 1, t);
+            }
+        }
+    }
+
+    /// Installs `block` into the (inclusive) shared LLC, handling victim
+    /// back-invalidation across all cores.
+    fn fill_llc_inclusive(&mut self, block: u64, t: &mut Traversal) {
+        let llc = self.llc_level();
+        let evicted = self.shared.fill(block, false);
+        t.fills.push(llc);
+        t.inserted.push((llc, block));
+        if let Some(v) = evicted {
+            self.stats.count_eviction(llc);
+            t.removed.push((llc, v.block));
+            let mut dirty = v.dirty;
+            // Inclusion: purge every upper copy in every core.
+            for core in 0..self.cores {
+                for lvl in 0..(self.levels - 1) {
+                    t.probes.push(lvl);
+                    if let Some(up) = self.private[core][lvl as usize].invalidate(v.block) {
+                        self.stats.count_invalidation(lvl);
+                        t.removed.push((lvl, v.block));
+                        dirty |= up.dirty;
+                    }
+                }
+            }
+            if dirty {
+                t.writebacks.push(MEMORY);
+            }
+        }
+    }
+
+    /// Installs `block` into private level `lvl` of `core` (inclusive
+    /// policy), invalidating the victim's upper copies and folding dirty
+    /// data down to `lvl + 1`.
+    fn fill_private_inclusive(
+        &mut self,
+        core: usize,
+        lvl: LevelId,
+        block: u64,
+        dirty: bool,
+        t: &mut Traversal,
+    ) {
+        let evicted = self.private[core][lvl as usize].fill(block, dirty);
+        t.fills.push(lvl);
+        t.inserted.push((lvl, block));
+        if let Some(v) = evicted {
+            self.stats.count_eviction(lvl);
+            t.removed.push((lvl, v.block));
+            let mut wb_dirty = v.dirty;
+            for up in 0..lvl {
+                t.probes.push(up);
+                if let Some(e) = self.private[core][up as usize].invalidate(v.block) {
+                    self.stats.count_invalidation(up);
+                    t.removed.push((up, v.block));
+                    wb_dirty |= e.dirty;
+                }
+            }
+            if wb_dirty {
+                let below = lvl + 1;
+                t.writebacks.push(below);
+                let ok = self.cache_mut(core, below).mark_dirty(v.block);
+                debug_assert!(ok, "inclusion violated: victim {0:#x} absent below", v.block);
+            }
+        }
+    }
+
+    /// Exclusive-style insert into L1 with victim cascade down to
+    /// `cascade_end` (exclusive: `levels`, i.e. through the LLC; hybrid:
+    /// `levels - 1`, the last private level — its victim stays in the
+    /// inclusive LLC). Dirty victims leaving the cascade are written back.
+    fn insert_top_exclusive(
+        &mut self,
+        core: usize,
+        block: u64,
+        dirty: bool,
+        cascade_end: u8,
+        t: &mut Traversal,
+    ) {
+        let mut incoming: Option<Evicted> = Some(Evicted { block, dirty });
+        let mut lvl: LevelId = 0;
+        while let Some(line) = incoming.take() {
+            if lvl >= cascade_end {
+                // Victim leaves the cascade.
+                if cascade_end == self.levels {
+                    // Fully exclusive: LLC victim goes to memory.
+                    if line.dirty {
+                        t.writebacks.push(MEMORY);
+                    }
+                } else {
+                    // Hybrid: last private victim merges into the inclusive
+                    // LLC copy.
+                    if line.dirty {
+                        t.writebacks.push(self.levels - 1);
+                        let ok = self.shared.mark_dirty(line.block);
+                        debug_assert!(
+                            ok,
+                            "hybrid inclusion violated: private victim {0:#x} absent in LLC",
+                            line.block
+                        );
+                    }
+                }
+                break;
+            }
+            // The shared LLC can already hold the block when several cores
+            // reference the same addresses (the paper's workloads are
+            // multi-programmed with disjoint address spaces, but we stay
+            // robust without a coherence protocol): merge instead of
+            // double-filling.
+            if lvl == self.levels - 1 && self.shared.probe(line.block) {
+                if line.dirty {
+                    let ok = self.shared.mark_dirty(line.block);
+                    debug_assert!(ok);
+                    t.writebacks.push(lvl);
+                }
+                break;
+            }
+            let evicted = self.cache_mut(core, lvl).fill(line.block, line.dirty);
+            t.fills.push(lvl);
+            t.inserted.push((lvl, line.block));
+            if let Some(v) = evicted {
+                self.stats.count_eviction(lvl);
+                t.removed.push((lvl, v.block));
+                incoming = Some(v);
+            }
+            lvl += 1;
+        }
+    }
+
+    // ----- Prefetch support (inclusive policy only) ---------------------
+
+    /// Probes a level without updating recency (prefetch presence check).
+    /// Logs a lookup (tag access) against the level.
+    pub fn prefetch_probe(&mut self, core: usize, level: LevelId, block: u64, t: &mut Traversal) -> bool {
+        let hit = self.cache_ref(core, level).probe(block);
+        t.lookups.push((level, hit));
+        if hit {
+            t.hit_level = Some(level);
+        }
+        hit
+    }
+
+    /// Installs a prefetched block into the inclusive hierarchy at every
+    /// level from the LLC up to `up_to_level` (exclusive of L1 when
+    /// `up_to_level > 0`). Panics outside the inclusive policy.
+    pub fn prefetch_fill(&mut self, core: usize, up_to_level: LevelId, block: u64, t: &mut Traversal) {
+        assert_eq!(
+            self.policy,
+            InclusionPolicy::Inclusive,
+            "prefetching is modelled for the inclusive hierarchy only"
+        );
+        if !self.shared.probe(block) {
+            self.fill_llc_inclusive(block, t);
+        }
+        let mut lvl = self.levels - 2;
+        loop {
+            if !self.private[core][lvl as usize].probe(block) {
+                self.fill_private_inclusive(core, lvl, block, false, t);
+            }
+            if lvl == up_to_level {
+                break;
+            }
+            lvl -= 1;
+        }
+    }
+
+    // ----- Invariant checks (tests / debugging) --------------------------
+
+    /// Verifies the inclusion invariant appropriate to the policy. O(cache
+    /// size); intended for tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match self.policy {
+            InclusionPolicy::Inclusive => {
+                for core in 0..self.cores {
+                    for lvl in 0..(self.levels as usize - 1) {
+                        for b in self.private[core][lvl].resident_blocks() {
+                            let below_ok = if lvl + 2 == self.levels as usize {
+                                self.shared.probe(b)
+                            } else {
+                                self.private[core][lvl + 1].probe(b)
+                            };
+                            if !below_ok {
+                                return Err(format!(
+                                    "inclusive: core {core} L{} block {b:#x} missing below",
+                                    lvl + 1
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            InclusionPolicy::Exclusive => {
+                for core in 0..self.cores {
+                    for a in 0..(self.levels as usize - 1) {
+                        for b in self.private[core][a].resident_blocks() {
+                            for other in (a + 1)..(self.levels as usize - 1) {
+                                if self.private[core][other].probe(b) {
+                                    return Err(format!(
+                                        "exclusive: core {core} block {b:#x} in both L{} and L{}",
+                                        a + 1,
+                                        other + 1
+                                    ));
+                                }
+                            }
+                            if self.shared.probe(b) {
+                                return Err(format!(
+                                    "exclusive: core {core} block {b:#x} in both L{} and LLC",
+                                    a + 1
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            InclusionPolicy::Hybrid => {
+                for core in 0..self.cores {
+                    for a in 0..(self.levels as usize - 1) {
+                        for b in self.private[core][a].resident_blocks() {
+                            for other in (a + 1)..(self.levels as usize - 1) {
+                                if self.private[core][other].probe(b) {
+                                    return Err(format!(
+                                        "hybrid: core {core} block {b:#x} in both L{} and L{}",
+                                        a + 1,
+                                        other + 1
+                                    ));
+                                }
+                            }
+                            if !self.shared.probe(b) {
+                                return Err(format!(
+                                    "hybrid: core {core} L{} block {b:#x} not covered by LLC",
+                                    a + 1
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when `block` resides at any level reachable by `core`.
+    pub fn resident_anywhere(&self, core: usize, block: u64) -> bool {
+        self.private[core]
+            .iter()
+            .any(|c| c.probe(block))
+            || self.shared.probe(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::ReplacementPolicy;
+
+    fn tiny_config(policy: InclusionPolicy) -> HierarchyConfig {
+        HierarchyConfig {
+            cores: 2,
+            private_levels: vec![
+                CacheConfig::lru(128, 2, 64),  // L1: 1 set × 2 ways
+                CacheConfig::lru(256, 2, 64),  // L2: 2 sets × 2 ways
+                CacheConfig::lru(512, 2, 64),  // L3: 4 sets × 2 ways
+            ],
+            shared_llc: CacheConfig::lru(2048, 4, 64), // L4: 8 sets × 4 ways
+            policy,
+        }
+    }
+
+    /// Runs a full demand access the way the Base mechanism would.
+    fn demand(h: &mut DeepHierarchy, core: usize, block: u64, store: bool, t: &mut Traversal) {
+        t.clear();
+        if h.access_first(core, block, store, t) {
+            h.absorb_stats(t);
+            return;
+        }
+        for lvl in 1..h.levels() {
+            if h.lookup(core, lvl, block, t) {
+                h.promote(core, lvl, block, store, t);
+                h.absorb_stats(t);
+                return;
+            }
+        }
+        h.fill_from_memory(core, block, store, t);
+        h.absorb_stats(t);
+    }
+
+    #[test]
+    fn inclusive_miss_fills_all_levels() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Inclusive));
+        let mut t = Traversal::new();
+        demand(&mut h, 0, 0x40, false, &mut t);
+        assert_eq!(t.lookups.len(), 4);
+        assert_eq!(t.fills.len(), 4);
+        assert!(h.private_cache(0, 0).probe(0x40));
+        assert!(h.private_cache(0, 1).probe(0x40));
+        assert!(h.private_cache(0, 2).probe(0x40));
+        assert!(h.llc().probe(0x40));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Inclusive));
+        let mut t = Traversal::new();
+        demand(&mut h, 0, 0x40, false, &mut t);
+        demand(&mut h, 0, 0x40, false, &mut t);
+        assert_eq!(t.hit_level, Some(0));
+        assert_eq!(t.lookups.len(), 1);
+        assert_eq!(h.stats().levels[0].hits, 1);
+    }
+
+    #[test]
+    fn inclusive_llc_eviction_back_invalidates() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Inclusive));
+        let mut t = Traversal::new();
+        // LLC set 0 holds 4 ways; blocks mapping to LLC set 0 are multiples
+        // of 8 blocks (8 sets). Fill 5 such blocks to force an LLC eviction.
+        let blocks: Vec<u64> = (0..5).map(|i| i * 8).collect();
+        for &b in &blocks {
+            demand(&mut h, 0, b, false, &mut t);
+        }
+        // The LLC victim must have vanished from the private levels too.
+        let victim = t
+            .removed
+            .iter()
+            .find(|&&(l, _)| l == 3)
+            .map(|&(_, b)| b)
+            .expect("LLC eviction expected");
+        assert!(!h.resident_anywhere(0, victim));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn inclusive_dirty_l1_eviction_writes_back_to_l2() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Inclusive));
+        let mut t = Traversal::new();
+        // L1 has 1 set × 2 ways; three blocks that share L1 set but spread
+        // over LLC sets: any blocks work since L1 has a single set.
+        demand(&mut h, 0, 1, true, &mut t); // store → dirty in L1
+        demand(&mut h, 0, 2, false, &mut t);
+        demand(&mut h, 0, 3, false, &mut t); // evicts block 1 from L1
+        // A writeback must have arrived at L2 (level 1).
+        assert!(h.stats().levels[1].writebacks_in >= 1);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn inclusive_hit_at_llc_promotes_to_upper_levels() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Inclusive));
+        let mut t = Traversal::new();
+        demand(&mut h, 0, 0x40, false, &mut t);
+        // Evict 0x40 from L1/L2/L3 by filling conflicting blocks, but keep
+        // it in the larger LLC: blocks 1..3 share L1 set (1 set) and L2/L3
+        // sets cycle faster than LLC's 8 sets.
+        for b in [0x48u64, 0x50, 0x58, 0x60, 0x68] {
+            demand(&mut h, 0, b, false, &mut t);
+        }
+        if h.llc().probe(0x40) && !h.private_cache(0, 0).probe(0x40) {
+            demand(&mut h, 0, 0x40, false, &mut t);
+            assert!(t.hit_level.is_some());
+            assert!(h.private_cache(0, 0).probe(0x40), "promoted to L1");
+        }
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exclusive_full_miss_fills_only_l1() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Exclusive));
+        let mut t = Traversal::new();
+        demand(&mut h, 0, 0x40, false, &mut t);
+        assert!(h.private_cache(0, 0).probe(0x40));
+        assert!(!h.private_cache(0, 1).probe(0x40));
+        assert!(!h.private_cache(0, 2).probe(0x40));
+        assert!(!h.llc().probe(0x40));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exclusive_victims_cascade_down() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Exclusive));
+        let mut t = Traversal::new();
+        // L1 = 2 ways/1 set. Three distinct blocks: third fill pushes the
+        // first block into L2.
+        demand(&mut h, 0, 1, false, &mut t);
+        demand(&mut h, 0, 2, false, &mut t);
+        demand(&mut h, 0, 3, false, &mut t);
+        assert!(h.private_cache(0, 1).probe(1), "victim moved to L2");
+        assert!(!h.private_cache(0, 0).probe(1));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exclusive_hit_moves_block_up_and_out_of_lower_level() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Exclusive));
+        let mut t = Traversal::new();
+        demand(&mut h, 0, 1, false, &mut t);
+        demand(&mut h, 0, 2, false, &mut t);
+        demand(&mut h, 0, 3, false, &mut t); // block 1 now in L2
+        demand(&mut h, 0, 1, false, &mut t); // hit in L2 → move back to L1
+        assert!(h.private_cache(0, 0).probe(1));
+        assert!(!h.private_cache(0, 1).probe(1), "exclusive: removed from L2");
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn exclusive_dirty_line_keeps_dirty_through_moves() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Exclusive));
+        let mut t = Traversal::new();
+        demand(&mut h, 0, 1, true, &mut t); // dirty in L1
+        // Push it all the way down: L1(2) → L2(4 lines) → L3(8) → LLC(32).
+        for b in 2..20u64 {
+            demand(&mut h, 0, b, false, &mut t);
+        }
+        // Wherever block 1 is now, re-accessing and then displacing it to
+        // memory must produce a memory writeback eventually. Flush it out by
+        // filling more conflicting lines.
+        let before = h.stats().memory_writebacks;
+        let _ = before;
+        let mut wb_seen = false;
+        for b in 20..200u64 {
+            t.clear();
+            demand(&mut h, 0, b, false, &mut t);
+            if t.writebacks.contains(&MEMORY) {
+                wb_seen = true;
+            }
+        }
+        assert!(wb_seen, "dirty data must reach memory when displaced off-chip");
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hybrid_llc_covers_private_levels() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Hybrid));
+        let mut t = Traversal::new();
+        for b in 0..30u64 {
+            demand(&mut h, 0, b, b % 4 == 0, &mut t);
+            demand(&mut h, 1, b + 1000, false, &mut t);
+        }
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hybrid_hit_in_llc_copies_rather_than_extracts() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Hybrid));
+        let mut t = Traversal::new();
+        demand(&mut h, 0, 1, false, &mut t);
+        // Displace 1 from the private levels (exclusive chain has 2+4+8 = 14
+        // lines; 20 extra blocks push it out into... dropped, still in LLC).
+        for b in 2..30u64 {
+            demand(&mut h, 0, b, false, &mut t);
+        }
+        if h.llc().probe(1) && !h.private_cache(0, 0).probe(1) {
+            demand(&mut h, 0, 1, false, &mut t);
+            assert_eq!(t.hit_level, Some(3));
+            assert!(h.llc().probe(1), "LLC keeps its copy (inclusive)");
+            assert!(h.private_cache(0, 0).probe(1), "copy promoted to L1");
+        }
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hybrid_private_victim_dirty_merges_into_llc() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Hybrid));
+        let mut t = Traversal::new();
+        demand(&mut h, 0, 1, true, &mut t); // dirty
+        let mut saw_llc_wb = false;
+        for b in 2..40u64 {
+            t.clear();
+            demand(&mut h, 0, b, false, &mut t);
+            if t.writebacks.contains(&3) {
+                saw_llc_wb = true;
+            }
+        }
+        assert!(saw_llc_wb, "dirty private victim must write back into LLC");
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cores_have_isolated_private_caches() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Inclusive));
+        let mut t = Traversal::new();
+        demand(&mut h, 0, 0x40, false, &mut t);
+        assert!(h.private_cache(0, 0).probe(0x40));
+        assert!(!h.private_cache(1, 0).probe(0x40));
+        // Core 1 hits in the shared LLC though.
+        demand(&mut h, 1, 0x40, false, &mut t);
+        assert_eq!(t.hit_level, Some(3));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prefetch_fill_installs_down_to_l2_not_l1() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Inclusive));
+        let mut t = Traversal::new();
+        h.prefetch_fill(0, 1, 0x80, &mut t);
+        assert!(!h.private_cache(0, 0).probe(0x80));
+        assert!(h.private_cache(0, 1).probe(0x80));
+        assert!(h.private_cache(0, 2).probe(0x80));
+        assert!(h.llc().probe(0x80));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prefetch_fill_is_idempotent_for_resident_blocks() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Inclusive));
+        let mut t = Traversal::new();
+        h.prefetch_fill(0, 1, 0x80, &mut t);
+        let fills_before = h.stats().levels[1].fills;
+        let _ = fills_before;
+        t.clear();
+        h.prefetch_fill(0, 1, 0x80, &mut t);
+        assert!(t.fills.is_empty(), "no refill of resident block");
+    }
+
+    #[test]
+    #[should_panic]
+    fn prefetch_fill_rejected_outside_inclusive() {
+        let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Exclusive));
+        let mut t = Traversal::new();
+        h.prefetch_fill(0, 1, 0x80, &mut t);
+    }
+
+    #[test]
+    fn random_workload_preserves_invariants_all_policies() {
+        for policy in [
+            InclusionPolicy::Inclusive,
+            InclusionPolicy::Exclusive,
+            InclusionPolicy::Hybrid,
+        ] {
+            let mut cfg = tiny_config(policy);
+            cfg.private_levels[0].policy = ReplacementPolicy::TreePlru;
+            let mut h = DeepHierarchy::new(&cfg);
+            let mut t = Traversal::new();
+            let mut x = 0x1234_5678u64;
+            for i in 0..3000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let core = (x % 2) as usize;
+                // Per-core disjoint block ranges, as the simulator runs
+                // multi-programmed workloads (exclusive hierarchies have no
+                // chip-wide single-copy guarantee under sharing without a
+                // coherence protocol, which the paper does not model).
+                let block = (x % 97) | ((core as u64) << 20);
+                demand(&mut h, core, block, i % 5 == 0, &mut t);
+            }
+            h.check_invariants()
+                .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        }
+    }
+}

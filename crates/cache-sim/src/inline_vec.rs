@@ -1,0 +1,130 @@
+//! A tiny fixed-capacity inline vector.
+//!
+//! The per-access [`Traversal`](crate::traversal::Traversal) log runs on the
+//! simulator's hottest path; a heap-allocating `Vec` per event list would
+//! dominate runtime. Event counts per access are small and statically
+//! bounded (≤ levels + cascade depth), so a stack array suffices. We
+//! implement our own rather than pull in `arrayvec`/`smallvec` (not in the
+//! approved offline dependency set).
+
+/// Fixed-capacity, `Copy`-element inline vector.
+#[derive(Debug, Clone, Copy)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    items: [T; N],
+    len: u8,
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        assert!(N <= u8::MAX as usize);
+        Self {
+            items: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// Appends an item.
+    ///
+    /// # Panics
+    /// Panics when full — event lists are sized for the worst-case cascade,
+    /// so overflow indicates a logic bug, not a data-dependent condition.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        assert!(
+            (self.len as usize) < N,
+            "InlineVec overflow (capacity {N}): traversal produced more events than the hierarchy worst case"
+        );
+        self.items[self.len as usize] = item;
+        self.len += 1;
+    }
+
+    /// Number of stored items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all items.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Slice view of the stored items.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Iterates stored items by value.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(10);
+        v.push(20);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.as_slice(), &[10, 20]);
+        assert_eq!(v.iter().sum::<u32>(), 30);
+    }
+
+    #[test]
+    fn clear_resets_len() {
+        let mut v: InlineVec<u8, 2> = InlineVec::new();
+        v.push(1);
+        v.clear();
+        assert!(v.is_empty());
+        v.push(2);
+        assert_eq!(v.as_slice(), &[2]);
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let mut v: InlineVec<u64, 8> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert_eq!(v.first(), Some(&0));
+        assert_eq!(v[4], 4);
+        assert!(v.contains(&3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let mut v: InlineVec<u8, 1> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Reference-model equivalence: the production `Cache` must behave
+//! identically to an obviously-correct per-set LRU stack model under
+//! arbitrary operation sequences. This is the strongest correctness
+//! statement we can make about the substrate every result rests on.
+
+use cache_sim::{Cache, CacheConfig};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Obviously-correct model: one LRU stack (front = MRU) per set, entries
+/// `(block, dirty)`.
+struct ModelCache {
+    sets: Vec<VecDeque<(u64, bool)>>,
+    set_mask: u64,
+    assoc: usize,
+}
+
+impl ModelCache {
+    fn new(sets: usize, assoc: usize) -> Self {
+        Self {
+            sets: (0..sets).map(|_| VecDeque::new()).collect(),
+            set_mask: sets as u64 - 1,
+            assoc,
+        }
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block & self.set_mask) as usize
+    }
+
+    fn probe(&self, block: u64) -> bool {
+        self.sets[self.set_of(block)].iter().any(|&(b, _)| b == block)
+    }
+
+    fn access(&mut self, block: u64, store: bool) -> bool {
+        let set = self.set_of(block);
+        if let Some(pos) = self.sets[set].iter().position(|&(b, _)| b == block) {
+            let (b, d) = self.sets[set].remove(pos).expect("present");
+            self.sets[set].push_front((b, d || store));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, block: u64, dirty: bool) -> Option<(u64, bool)> {
+        let set = self.set_of(block);
+        let evicted = if self.sets[set].len() == self.assoc {
+            self.sets[set].pop_back()
+        } else {
+            None
+        };
+        self.sets[set].push_front((block, dirty));
+        evicted
+    }
+
+    fn invalidate(&mut self, block: u64) -> Option<(u64, bool)> {
+        let set = self.set_of(block);
+        let pos = self.sets[set].iter().position(|&(b, _)| b == block)?;
+        self.sets[set].remove(pos)
+    }
+
+    fn occupancy(&self) -> u64 {
+        self.sets.iter().map(|s| s.len() as u64).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u64, bool),
+    Fill(u64, bool),
+    Invalidate(u64),
+    MarkDirty(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A narrow block universe keeps sets contended.
+    let block = 0u64..96;
+    prop_oneof![
+        (block.clone(), any::<bool>()).prop_map(|(b, s)| Op::Access(b, s)),
+        (block.clone(), any::<bool>()).prop_map(|(b, d)| Op::Fill(b, d)),
+        block.clone().prop_map(Op::Invalidate),
+        block.prop_map(Op::MarkDirty),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn cache_matches_lru_stack_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        // 8 sets × 4 ways, LRU.
+        let mut cache = Cache::new(CacheConfig::lru(2048, 4, 64));
+        let mut model = ModelCache::new(8, 4);
+        for op in ops {
+            match op {
+                Op::Access(b, s) => {
+                    prop_assert_eq!(cache.access(b, s), model.access(b, s), "access {}", b);
+                }
+                Op::Fill(b, d) => {
+                    // The production cache forbids double-fill; mirror that.
+                    if !model.probe(b) {
+                        let got = cache.fill(b, d);
+                        let want = model.fill(b, d);
+                        prop_assert_eq!(
+                            got.map(|e| (e.block, e.dirty)),
+                            want,
+                            "fill {} evicted differently", b
+                        );
+                    }
+                }
+                Op::Invalidate(b) => {
+                    let got = cache.invalidate(b);
+                    let want = model.invalidate(b);
+                    prop_assert_eq!(got.map(|e| (e.block, e.dirty)), want, "invalidate {}", b);
+                }
+                Op::MarkDirty(b) => {
+                    let got = cache.mark_dirty(b);
+                    let set = model.set_of(b);
+                    let want = model.sets[set]
+                        .iter_mut()
+                        .find(|e| e.0 == b)
+                        .map(|e| {
+                            e.1 = true;
+                        })
+                        .is_some();
+                    prop_assert_eq!(got, want, "mark_dirty {}", b);
+                }
+            }
+            prop_assert_eq!(cache.occupancy(), model.occupancy());
+        }
+        // Final residency agreement, block by block.
+        for b in 0..96u64 {
+            prop_assert_eq!(cache.probe(b), model.probe(b), "final residency of {}", b);
+        }
+    }
+}

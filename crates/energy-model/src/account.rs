@@ -1,0 +1,209 @@
+//! Dynamic-energy accumulation and end-of-run reporting.
+
+use crate::spec::PlatformSpec;
+use serde::Serialize;
+
+/// Streaming accumulator for dynamic energy, split by component.
+///
+/// All values are in nanojoules until [`EnergyAccount::finalize`] converts
+/// to joules and adds leakage.
+#[derive(Debug, Clone)]
+pub struct EnergyAccount {
+    per_level_nj: Vec<f64>,
+    predictor_nj: f64,
+    recalibration_nj: f64,
+    prefetcher_nj: f64,
+}
+
+impl EnergyAccount {
+    /// Creates a zeroed account for `levels` cache levels.
+    pub fn new(levels: usize) -> Self {
+        Self {
+            per_level_nj: vec![0.0; levels],
+            predictor_nj: 0.0,
+            recalibration_nj: 0.0,
+            prefetcher_nj: 0.0,
+        }
+    }
+
+    /// Adds dynamic energy at a cache level.
+    #[inline]
+    pub fn add_level(&mut self, level: usize, nj: f64) {
+        self.per_level_nj[level] += nj;
+    }
+
+    /// Adds predictor lookup/update energy.
+    #[inline]
+    pub fn add_predictor(&mut self, nj: f64) {
+        self.predictor_nj += nj;
+    }
+
+    /// Adds recalibration energy (tag-array sweeps + table writes).
+    #[inline]
+    pub fn add_recalibration(&mut self, nj: f64) {
+        self.recalibration_nj += nj;
+    }
+
+    /// Adds prefetcher table energy (RPT lookups/updates).
+    #[inline]
+    pub fn add_prefetcher(&mut self, nj: f64) {
+        self.prefetcher_nj += nj;
+    }
+
+    /// Total dynamic energy so far, nanojoules.
+    pub fn total_dynamic_nj(&self) -> f64 {
+        self.per_level_nj.iter().sum::<f64>()
+            + self.predictor_nj
+            + self.recalibration_nj
+            + self.prefetcher_nj
+    }
+
+    /// Closes the account: computes leakage over `cycles` and produces the
+    /// report. `include_predictor_leakage` should be true for mechanisms
+    /// that instantiate a table (ReDHiP, CBF).
+    pub fn finalize(
+        &self,
+        spec: &PlatformSpec,
+        cycles: u64,
+        include_predictor_leakage: bool,
+    ) -> EnergyReport {
+        let seconds = spec.seconds(cycles);
+        let leakage_j: Vec<f64> = spec
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l.leakage_w * spec.instances(i) as f64 * seconds)
+            .collect();
+        let predictor_leakage_j = if include_predictor_leakage {
+            spec.predictor.leakage_w * seconds
+        } else {
+            0.0
+        };
+        EnergyReport {
+            dynamic_by_level_j: self.per_level_nj.iter().map(|nj| nj * 1e-9).collect(),
+            predictor_dynamic_j: self.predictor_nj * 1e-9,
+            recalibration_j: self.recalibration_nj * 1e-9,
+            prefetcher_j: self.prefetcher_nj * 1e-9,
+            leakage_by_level_j: leakage_j,
+            predictor_leakage_j,
+            cycles,
+            seconds,
+        }
+    }
+}
+
+/// Finalized energy report for one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct EnergyReport {
+    /// Dynamic energy per cache level, joules.
+    pub dynamic_by_level_j: Vec<f64>,
+    /// Predictor lookup/update dynamic energy, joules.
+    pub predictor_dynamic_j: f64,
+    /// Recalibration dynamic energy, joules.
+    pub recalibration_j: f64,
+    /// Prefetcher table dynamic energy, joules.
+    pub prefetcher_j: f64,
+    /// Leakage per cache level over the run, joules.
+    pub leakage_by_level_j: Vec<f64>,
+    /// Predictor leakage over the run, joules.
+    pub predictor_leakage_j: f64,
+    /// Run length in cycles.
+    pub cycles: u64,
+    /// Run length in seconds.
+    pub seconds: f64,
+}
+
+impl EnergyReport {
+    /// Total dynamic energy (caches + predictor + recalibration +
+    /// prefetcher), joules. This is the quantity the paper's Figures 7,
+    /// 11–13 and 15 normalize.
+    pub fn total_dynamic_j(&self) -> f64 {
+        self.dynamic_by_level_j.iter().sum::<f64>()
+            + self.predictor_dynamic_j
+            + self.recalibration_j
+            + self.prefetcher_j
+    }
+
+    /// Total leakage ("static") energy, joules.
+    pub fn total_leakage_j(&self) -> f64 {
+        self.leakage_by_level_j.iter().sum::<f64>() + self.predictor_leakage_j
+    }
+
+    /// Total cache-subsystem energy, joules — the paper's "overall energy"
+    /// (22% average saving headline).
+    pub fn total_j(&self) -> f64 {
+        self.total_dynamic_j() + self.total_leakage_j()
+    }
+
+    /// Share of dynamic energy spent below L2 — the paper's motivation
+    /// observation (lower levels ≈ 80% of dynamic cache energy).
+    pub fn lower_level_dynamic_share(&self) -> f64 {
+        let total = self.total_dynamic_j();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.dynamic_by_level_j.iter().skip(2).sum::<f64>() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::table_i;
+
+    #[test]
+    fn accumulation_by_component() {
+        let mut a = EnergyAccount::new(4);
+        a.add_level(0, 1.0);
+        a.add_level(3, 2.0);
+        a.add_predictor(0.5);
+        a.add_recalibration(0.25);
+        a.add_prefetcher(0.125);
+        assert!((a.total_dynamic_nj() - 3.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finalize_converts_units_and_adds_leakage() {
+        let spec = table_i();
+        let mut a = EnergyAccount::new(4);
+        a.add_level(3, 1e9); // 1 J dynamic at the LLC
+        let cycles = 3_700_000_000; // exactly one second at 3.7 GHz
+        let r = a.finalize(&spec, cycles, true);
+        assert!((r.seconds - 1.0).abs() < 1e-9);
+        assert!((r.dynamic_by_level_j[3] - 1.0).abs() < 1e-9);
+        // Leakage: L1/L2/L3 ×8 cores + L4 + PT, 1 second.
+        let expected_leak = (0.0013 + 0.02 + 0.16) * 8.0 + 2.56 + 0.04;
+        assert!((r.total_leakage_j() - expected_leak).abs() < 1e-6);
+        assert!((r.total_j() - (1.0 + expected_leak)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predictor_leakage_excluded_for_base() {
+        let spec = table_i();
+        let a = EnergyAccount::new(4);
+        let with = a.finalize(&spec, 3_700_000_000, true);
+        let without = a.finalize(&spec, 3_700_000_000, false);
+        assert!(with.total_leakage_j() > without.total_leakage_j());
+        assert!((with.predictor_leakage_j - 0.04).abs() < 1e-9);
+        assert_eq!(without.predictor_leakage_j, 0.0);
+    }
+
+    #[test]
+    fn lower_level_share() {
+        let mut a = EnergyAccount::new(4);
+        a.add_level(0, 10.0);
+        a.add_level(1, 10.0);
+        a.add_level(2, 40.0);
+        a.add_level(3, 40.0);
+        let r = a.finalize(&table_i(), 0, false);
+        assert!((r.lower_level_dynamic_share() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_run_is_all_zero() {
+        let a = EnergyAccount::new(4);
+        let r = a.finalize(&table_i(), 0, false);
+        assert_eq!(r.total_j(), 0.0);
+        assert_eq!(r.lower_level_dynamic_share(), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! CACTI-style latency/energy parameters and energy accounting.
+//!
+//! The paper derives per-access energies and delays from CACTI 6.5 and
+//! publishes them in Table I; leakage comes from published SRAM data. We
+//! encode those constants verbatim ([`presets::table_i`]) and provide:
+//!
+//! * [`spec::CacheSpec`] / [`spec::PlatformSpec`] — the architecture
+//!   parameters (sizes, delays, energies, leakage) for every level plus the
+//!   prediction table.
+//! * [`presets`] — the paper's Table I configuration and a capacity-scaled
+//!   "demo" variant that keeps per-access costs and all structural ratios
+//!   (so relative results are preserved) while shrinking L3/L4/PT 16× for
+//!   tractable run times.
+//! * [`account::EnergyAccount`] — accumulates dynamic energy by component
+//!   during simulation and folds in leakage at finalization.
+
+pub mod account;
+pub mod presets;
+pub mod spec;
+
+pub use account::{EnergyAccount, EnergyReport};
+pub use spec::{CacheSpec, PlatformSpec, PredictorSpec};

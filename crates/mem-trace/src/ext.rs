@@ -1,0 +1,170 @@
+//! Adapters over [`TraceSource`] streams.
+
+use crate::record::TraceRecord;
+use crate::TraceSource;
+
+/// Extension adapters available on every trace source.
+pub trait TraceSourceExt: TraceSource + Sized {
+    /// Shifts every data address by `offset`.
+    ///
+    /// The simulator gives each core a disjoint physical address range
+    /// (offset at a high bit) so that duplicating one benchmark trace onto
+    /// all 8 cores produces *contention* in the shared LLC rather than
+    /// *sharing*, as in a multi-programmed run. High-bit offsets leave the
+    /// low index bits — and therefore the prediction-table hash — untouched.
+    fn offset_address_space(self, offset: u64) -> OffsetAddr<Self> {
+        OffsetAddr { inner: self, offset }
+    }
+
+    /// Rewrites every program counter by `offset` (keeps per-core stride
+    /// prefetcher tables from aliasing across duplicated traces).
+    fn offset_pcs(self, offset: u64) -> OffsetPc<Self> {
+        OffsetPc { inner: self, offset }
+    }
+
+    /// Forces a fixed compute gap on every record, overriding whatever the
+    /// generator produced. Used by microbenchmarks to isolate memory time.
+    fn with_uniform_gap(self, gap: u32) -> UniformGap<Self> {
+        UniformGap { inner: self, gap }
+    }
+
+    /// Repeats the underlying (cloneable) source forever. Used to stretch a
+    /// short recorded trace to a target reference count.
+    fn cycle_records(self) -> CycleRecords<Self>
+    where
+        Self: Clone,
+    {
+        CycleRecords {
+            original: self.clone(),
+            current: self,
+        }
+    }
+}
+
+impl<T: TraceSource> TraceSourceExt for T {}
+
+/// See [`TraceSourceExt::offset_address_space`].
+#[derive(Debug, Clone)]
+pub struct OffsetAddr<T> {
+    inner: T,
+    offset: u64,
+}
+
+impl<T: TraceSource> Iterator for OffsetAddr<T> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        self.inner.next().map(|r| r.with_addr_offset(self.offset))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// See [`TraceSourceExt::offset_pcs`].
+#[derive(Debug, Clone)]
+pub struct OffsetPc<T> {
+    inner: T,
+    offset: u64,
+}
+
+impl<T: TraceSource> Iterator for OffsetPc<T> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        self.inner.next().map(|mut r| {
+            r.pc = r.pc.wrapping_add(self.offset);
+            r
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// See [`TraceSourceExt::with_uniform_gap`].
+#[derive(Debug, Clone)]
+pub struct UniformGap<T> {
+    inner: T,
+    gap: u32,
+}
+
+impl<T: TraceSource> Iterator for UniformGap<T> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        self.inner.next().map(|r| r.with_gap(self.gap))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// See [`TraceSourceExt::cycle_records`].
+#[derive(Debug, Clone)]
+pub struct CycleRecords<T> {
+    original: T,
+    current: T,
+}
+
+impl<T: TraceSource + Clone> Iterator for CycleRecords<T> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        match self.current.next() {
+            Some(r) => Some(r),
+            None => {
+                self.current = self.original.clone();
+                self.current.next()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MemOp;
+
+    fn base() -> impl TraceSource + Clone {
+        (0..3u64).map(|i| TraceRecord::new(100 + i, i * 64, MemOp::Load, 5))
+    }
+
+    #[test]
+    fn offset_addr_shifts_only_addresses() {
+        let v: Vec<_> = base().offset_address_space(1 << 44).collect();
+        assert_eq!(v[1].addr, (1 << 44) + 64);
+        assert_eq!(v[1].pc, 101);
+    }
+
+    #[test]
+    fn offset_pc_shifts_only_pcs() {
+        let v: Vec<_> = base().offset_pcs(1 << 32).collect();
+        assert_eq!(v[0].pc, 100 + (1u64 << 32));
+        assert_eq!(v[0].addr, 0);
+    }
+
+    #[test]
+    fn uniform_gap_overrides() {
+        let v: Vec<_> = base().with_uniform_gap(0).collect();
+        assert!(v.iter().all(|r| r.gap == 0));
+    }
+
+    #[test]
+    fn cycle_repeats_source() {
+        let v: Vec<_> = base().cycle_records().take(7).collect();
+        assert_eq!(v.len(), 7);
+        assert_eq!(v[3].addr, v[0].addr);
+        assert_eq!(v[6].addr, v[0].addr);
+    }
+
+    #[test]
+    fn cycle_of_empty_source_terminates() {
+        let empty = std::iter::empty::<TraceRecord>();
+        let v: Vec<_> = empty.cycle_records().take(5).collect();
+        assert!(v.is_empty());
+    }
+}

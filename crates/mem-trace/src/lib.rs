@@ -1,0 +1,148 @@
+//! Memory-reference trace substrate for the ReDHiP reproduction.
+//!
+//! The paper drives its cache/energy simulator from Pin-collected traces of
+//! memory references. This crate provides the equivalent substrate:
+//!
+//! * [`TraceRecord`] — one memory reference (program counter, data address,
+//!   load/store, and the number of non-memory instructions since the previous
+//!   reference, which the simulator charges at the workload's average CPI).
+//! * [`TraceSource`] — a stream of records (any `Iterator<Item = TraceRecord>`),
+//!   plus adapters such as `TraceSourceExt::offset_address_space` used
+//!   to give each simulated core a private physical address range.
+//! * [`synth`] — composable synthetic access-pattern building blocks
+//!   (sequential, strided, random-in-region, pointer chase, Zipf) from which
+//!   `workloads` assembles benchmark-like streams.
+//! * [`codec`] — a compact binary on-disk format for recorded traces.
+//! * [`stats`] — streaming trace characterization (footprint, stride
+//!   predictability, operation mix, short-reuse proxy).
+//! * [`reuse`] — exact LRU reuse-distance analysis (Fenwick-tree
+//!   algorithm), the ground truth for locality validation.
+
+pub mod codec;
+pub mod ext;
+pub mod record;
+pub mod reuse;
+pub mod stats;
+pub mod synth;
+pub mod zipf;
+
+pub use ext::TraceSourceExt;
+pub use record::{MemOp, TraceRecord};
+pub use reuse::ReuseHistogram;
+pub use stats::TraceStats;
+
+/// A stream of memory-reference records.
+///
+/// Implemented for every `Iterator<Item = TraceRecord>`, so all standard
+/// iterator adapters apply. The simulator pulls records lazily; generators in
+/// the `workloads` crate typically run their kernel incrementally.
+pub trait TraceSource: Iterator<Item = TraceRecord> {}
+
+impl<T: Iterator<Item = TraceRecord>> TraceSource for T {}
+
+/// An owned, in-memory trace. Useful for tests, for replaying a decoded trace
+/// file, and for duplicating one trace across several cores.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VecTrace {
+    records: Vec<TraceRecord>,
+}
+
+impl VecTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing record vector.
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        Self { records }
+    }
+
+    /// Collects (up to `limit`) records from any source.
+    pub fn collect_from(source: impl TraceSource, limit: usize) -> Self {
+        Self {
+            records: source.take(limit).collect(),
+        }
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Borrowed view of the records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Iterates the records by value (cloning the backing storage lazily).
+    pub fn iter(&self) -> impl Iterator<Item = TraceRecord> + '_ {
+        self.records.iter().copied()
+    }
+
+    /// Consumes the trace and returns an owning iterator.
+    pub fn into_iter_records(self) -> std::vec::IntoIter<TraceRecord> {
+        self.records.into_iter()
+    }
+}
+
+impl IntoIterator for VecTrace {
+    type Item = TraceRecord;
+    type IntoIter = std::vec::IntoIter<TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl FromIterator<TraceRecord> for VecTrace {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
+        Self {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(addr: u64) -> TraceRecord {
+        TraceRecord::load(0x400000, addr)
+    }
+
+    #[test]
+    fn vec_trace_roundtrip() {
+        let mut t = VecTrace::new();
+        assert!(t.is_empty());
+        t.push(rec(0x1000));
+        t.push(rec(0x2000));
+        assert_eq!(t.len(), 2);
+        let collected: Vec<_> = t.clone().into_iter().collect();
+        assert_eq!(collected, t.records());
+    }
+
+    #[test]
+    fn collect_from_respects_limit() {
+        let src = (0..100u64).map(|i| rec(i * 64));
+        let t = VecTrace::collect_from(src, 10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.records()[9].addr, 9 * 64);
+    }
+
+    #[test]
+    fn from_iterator_builds_trace() {
+        let t: VecTrace = (0..4u64).map(rec).collect();
+        assert_eq!(t.len(), 4);
+    }
+}

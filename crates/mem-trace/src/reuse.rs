@@ -1,0 +1,235 @@
+//! Exact LRU reuse-distance analysis.
+//!
+//! The reuse distance of an access is the number of *distinct* blocks
+//! touched since the previous access to the same block (∞ for first
+//! touches). Its distribution fully determines the hit rate of a
+//! fully-associative LRU cache of any size — the standard tool for
+//! checking that a synthetic workload has the locality profile it claims
+//! (and for picking the demo-scale cache sizes in this reproduction).
+//!
+//! Implementation: the classic O(n log n) algorithm — a Fenwick tree over
+//! access timestamps counts the distinct blocks between two accesses; a
+//! hash map remembers each block's previous timestamp.
+
+use crate::record::TraceRecord;
+use std::collections::HashMap;
+
+/// Binary indexed tree over access positions.
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i32) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + i64::from(delta)) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += u64::from(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Histogram of reuse distances in power-of-two buckets.
+#[derive(Debug, Clone)]
+pub struct ReuseHistogram {
+    /// `buckets[i]` counts accesses with distance in `[2^(i-1), 2^i)`
+    /// (`buckets[0]` counts distance 0).
+    pub buckets: Vec<u64>,
+    /// First touches (infinite distance).
+    pub cold: u64,
+    /// Total accesses analysed.
+    pub total: u64,
+    /// Exact distances ≤ `EXACT_MAX` (for precise small-cache queries).
+    exact: Vec<u64>,
+}
+
+/// Exact per-distance resolution kept below this bound.
+pub const EXACT_MAX: usize = 8192;
+
+impl ReuseHistogram {
+    /// Analyses up to `limit` records of `source` at 64-byte block
+    /// granularity.
+    pub fn measure(source: impl Iterator<Item = TraceRecord>, limit: usize) -> Self {
+        let records: Vec<u64> = source.take(limit).map(|r| r.block(6)).collect();
+        let n = records.len();
+        let mut fen = Fenwick::new(n);
+        let mut last: HashMap<u64, usize> = HashMap::new();
+        let mut buckets = vec![0u64; 40];
+        let mut exact = vec![0u64; EXACT_MAX + 1];
+        let mut cold = 0u64;
+        for (t, &block) in records.iter().enumerate() {
+            match last.insert(block, t) {
+                None => cold += 1,
+                Some(t0) => {
+                    // Distinct blocks touched strictly between t0 and t:
+                    // every block in that window has its *latest* marker
+                    // inside it.
+                    let d = if t == 0 { 0 } else { fen.prefix(t - 1) } - fen.prefix(t0);
+                    let bucket = if d == 0 {
+                        0
+                    } else {
+                        (64 - (d as u64).leading_zeros()) as usize
+                    };
+                    buckets[bucket.min(39)] += 1;
+                    if (d as usize) <= EXACT_MAX {
+                        exact[d as usize] += 1;
+                    }
+                    fen.add(t0, -1);
+                }
+            }
+            fen.add(t, 1);
+        }
+        Self {
+            buckets,
+            cold,
+            total: n as u64,
+            exact,
+        }
+    }
+
+    /// Predicted hit rate of a fully-associative LRU cache with `lines`
+    /// lines: the fraction of accesses whose reuse distance is `< lines`.
+    /// Exact for `lines ≤ EXACT_MAX`, bucket-resolution above.
+    pub fn lru_hit_rate(&self, lines: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let hits: u64 = if lines <= EXACT_MAX {
+            self.exact[..lines].iter().sum()
+        } else {
+            // Sum whole buckets below the bound (conservative).
+            let mut s = 0u64;
+            for (i, &c) in self.buckets.iter().enumerate() {
+                let hi = if i == 0 { 0u64 } else { 1u64 << i };
+                if hi < lines as u64 {
+                    s += c;
+                }
+            }
+            s
+        };
+        hits as f64 / self.total as f64
+    }
+
+    /// Fraction of first-touch (compulsory-miss) accesses.
+    pub fn cold_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.cold as f64 / self.total as f64
+        }
+    }
+
+    /// Median reuse distance of re-accesses (bucket upper bound), or None
+    /// when nothing is re-accessed.
+    pub fn median_distance_bound(&self) -> Option<u64> {
+        let reuses: u64 = self.buckets.iter().sum();
+        if reuses == 0 {
+            return None;
+        }
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc * 2 >= reuses {
+                return Some(if i == 0 { 0 } else { 1 << i });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    fn blocks(seq: &[u64]) -> impl Iterator<Item = TraceRecord> + '_ {
+        seq.iter().map(|&b| TraceRecord::load(0, b * 64))
+    }
+
+    #[test]
+    fn same_block_has_distance_zero() {
+        let h = ReuseHistogram::measure(blocks(&[5, 5, 5, 5]), 100);
+        assert_eq!(h.cold, 1);
+        assert_eq!(h.buckets[0], 3);
+        assert!((h.lru_hit_rate(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cyclic_stream_distance_equals_working_set() {
+        // 0,1,2,3,0,1,2,3: each reuse skips 3 distinct blocks.
+        let h = ReuseHistogram::measure(blocks(&[0, 1, 2, 3, 0, 1, 2, 3]), 100);
+        assert_eq!(h.cold, 4);
+        assert_eq!(h.exact[3], 4);
+        assert_eq!(h.lru_hit_rate(3), 0.0);
+        assert!((h.lru_hit_rate(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_fraction_of_pure_stream_is_one() {
+        let h = ReuseHistogram::measure(blocks(&[1, 2, 3, 4, 5, 6]), 100);
+        assert!((h.cold_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(h.median_distance_bound(), None);
+    }
+
+    #[test]
+    fn median_bound_reports_bucket_ceiling() {
+        let h = ReuseHistogram::measure(blocks(&[0, 1, 2, 0, 1, 2]), 100);
+        // All reuses at distance 2 → bucket [2,4) → bound 4.
+        assert_eq!(h.median_distance_bound(), Some(4));
+    }
+
+    /// Reference model: fully-associative LRU of `lines` lines.
+    fn lru_sim(seq: &[u64], lines: usize) -> f64 {
+        let mut stack: VecDeque<u64> = VecDeque::new();
+        let mut hits = 0usize;
+        for &b in seq {
+            if let Some(pos) = stack.iter().position(|&x| x == b) {
+                hits += 1;
+                stack.remove(pos);
+            } else if stack.len() == lines {
+                stack.pop_back();
+            }
+            stack.push_front(b);
+        }
+        hits as f64 / seq.len() as f64
+    }
+
+    proptest! {
+        /// The histogram's predicted LRU hit rate matches an actual
+        /// fully-associative LRU simulation for every cache size.
+        #[test]
+        fn prop_matches_lru_simulation(
+            seq in proptest::collection::vec(0u64..24, 1..300),
+            lines in 1usize..32,
+        ) {
+            let recs: Vec<TraceRecord> =
+                seq.iter().map(|&b| TraceRecord::load(0, b * 64)).collect();
+            let h = ReuseHistogram::measure(recs.into_iter(), usize::MAX);
+            let predicted = h.lru_hit_rate(lines);
+            let simulated = lru_sim(&seq, lines);
+            prop_assert!(
+                (predicted - simulated).abs() < 1e-9,
+                "lines={lines}: predicted {predicted} vs simulated {simulated}"
+            );
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Trace characterization.
+//!
+//! Used by tests and by `workloads` to validate that a synthetic generator
+//! has the memory behaviour it claims (footprint bigger than the LLC,
+//! stride-predictability, store fraction, skew). Not on the simulator's hot
+//! path.
+
+use crate::record::TraceRecord;
+use serde::Serialize;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Aggregate statistics over a stream of records.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceStats {
+    /// Total records observed.
+    pub records: u64,
+    /// Store records observed.
+    pub stores: u64,
+    /// Distinct 64-byte blocks touched.
+    pub footprint_blocks: u64,
+    /// Sum of compute gaps (non-memory instructions).
+    pub total_gap: u64,
+    /// Fraction of references whose address equals the previous reference
+    /// from the same PC plus a repeated constant stride (two occurrences in a
+    /// row) — a proxy for stride-prefetchability.
+    pub stride_predictable: u64,
+    /// Fraction of references to a block touched within the last
+    /// `REUSE_WINDOW` distinct blocks — a proxy for short-range temporal
+    /// locality (and so for L1/L2 hit rate).
+    pub short_reuse: u64,
+    /// Distinct PCs observed.
+    pub distinct_pcs: u64,
+}
+
+/// Window (in distinct blocks) used for the short-reuse proxy. 512 blocks =
+/// 32 KB, i.e. the paper's L1 size.
+pub const REUSE_WINDOW: usize = 512;
+
+const BLOCK_BITS: u32 = 6;
+
+/// Streaming collector for [`TraceStats`].
+#[derive(Debug)]
+pub struct StatsCollector {
+    records: u64,
+    stores: u64,
+    total_gap: u64,
+    blocks: HashMap<u64, ()>,
+    pcs: HashMap<u64, PcState>,
+    stride_predictable: u64,
+    short_reuse: u64,
+    // Ring buffer of recently-touched distinct blocks plus membership map
+    // storing each block's slot for O(1) update.
+    window_ring: Vec<u64>,
+    window_pos: usize,
+    window_members: HashMap<u64, usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PcState {
+    last_addr: u64,
+    last_stride: i64,
+    seen: u32,
+}
+
+impl Default for StatsCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self {
+            records: 0,
+            stores: 0,
+            total_gap: 0,
+            blocks: HashMap::new(),
+            pcs: HashMap::new(),
+            stride_predictable: 0,
+            short_reuse: 0,
+            window_ring: vec![u64::MAX; REUSE_WINDOW],
+            window_pos: 0,
+            window_members: HashMap::new(),
+        }
+    }
+
+    /// Feeds one record.
+    pub fn observe(&mut self, r: &TraceRecord) {
+        self.records += 1;
+        if r.op.is_store() {
+            self.stores += 1;
+        }
+        self.total_gap += u64::from(r.gap);
+        let block = r.block(BLOCK_BITS);
+        self.blocks.insert(block, ());
+
+        // Stride predictability per PC.
+        match self.pcs.entry(r.pc) {
+            Entry::Occupied(mut e) => {
+                let st = e.get_mut();
+                let stride = r.addr.wrapping_sub(st.last_addr) as i64;
+                if st.seen >= 2 && stride == st.last_stride {
+                    self.stride_predictable += 1;
+                }
+                st.last_stride = stride;
+                st.last_addr = r.addr;
+                st.seen = st.seen.saturating_add(1);
+            }
+            Entry::Vacant(e) => {
+                e.insert(PcState {
+                    last_addr: r.addr,
+                    last_stride: 0,
+                    seen: 1,
+                });
+            }
+        }
+
+        // Short-range reuse window (FIFO over the last REUSE_WINDOW distinct
+        // blocks; a hit counts as reuse and does not reorder the window).
+        if self.window_members.contains_key(&block) {
+            self.short_reuse += 1;
+        } else {
+            let evict = self.window_ring[self.window_pos];
+            if evict != u64::MAX {
+                self.window_members.remove(&evict);
+            }
+            self.window_ring[self.window_pos] = block;
+            self.window_members.insert(block, self.window_pos);
+            self.window_pos = (self.window_pos + 1) % REUSE_WINDOW;
+        }
+    }
+
+    /// Finishes collection.
+    pub fn finish(self) -> TraceStats {
+        TraceStats {
+            records: self.records,
+            stores: self.stores,
+            footprint_blocks: self.blocks.len() as u64,
+            total_gap: self.total_gap,
+            stride_predictable: self.stride_predictable,
+            short_reuse: self.short_reuse,
+            distinct_pcs: self.pcs.len() as u64,
+        }
+    }
+}
+
+impl TraceStats {
+    /// Computes stats over an entire source (consumes up to `limit` records).
+    pub fn measure(source: impl Iterator<Item = TraceRecord>, limit: usize) -> Self {
+        let mut c = StatsCollector::new();
+        for r in source.take(limit) {
+            c.observe(&r);
+        }
+        c.finish()
+    }
+
+    /// Footprint in bytes (64-byte blocks).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_blocks << BLOCK_BITS
+    }
+
+    /// Store fraction in `[0, 1]`.
+    pub fn store_fraction(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.records as f64
+        }
+    }
+
+    /// Fraction of references that repeated their PC's previous stride.
+    pub fn stride_predictability(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.stride_predictable as f64 / self.records as f64
+        }
+    }
+
+    /// Fraction of references hitting the short-reuse window.
+    pub fn short_reuse_fraction(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.short_reuse as f64 / self.records as f64
+        }
+    }
+
+    /// Mean compute gap between successive references.
+    pub fn mean_gap(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.total_gap as f64 / self.records as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{PointerChase, Region, SequentialStream};
+
+    #[test]
+    fn sequential_stream_is_stride_predictable() {
+        let s = SequentialStream::new(Region::new(0, 1 << 24), 64, 0x400, 0, 2);
+        let stats = TraceStats::measure(s, 10_000);
+        assert_eq!(stats.records, 10_000);
+        assert!(stats.stride_predictability() > 0.99);
+        assert!((stats.mean_gap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pointer_chase_is_not_stride_predictable() {
+        let g = PointerChase::new(0, 1 << 14, 64, 1, 0x400, 0);
+        let stats = TraceStats::measure(g, 10_000);
+        assert!(
+            stats.stride_predictability() < 0.05,
+            "chase predictability {}",
+            stats.stride_predictability()
+        );
+    }
+
+    #[test]
+    fn footprint_counts_distinct_blocks() {
+        let s = SequentialStream::new(Region::new(0, 128 * 64), 64, 0, 0, 0);
+        let stats = TraceStats::measure(s, 1000);
+        assert_eq!(stats.footprint_blocks, 128);
+        assert_eq!(stats.footprint_bytes(), 128 * 64);
+    }
+
+    #[test]
+    fn short_reuse_detects_small_working_sets() {
+        // 64 blocks looped forever: after the first lap everything is reuse.
+        let s = SequentialStream::new(Region::new(0, 64 * 64), 64, 0, 0, 0);
+        let stats = TraceStats::measure(s, 10_000);
+        assert!(stats.short_reuse_fraction() > 0.95);
+
+        // A stream over 1M blocks never revisits within the window.
+        let big = SequentialStream::new(Region::new(0, (1 << 20) * 64), 64, 0, 0, 0);
+        let stats = TraceStats::measure(big, 10_000);
+        assert!(stats.short_reuse_fraction() < 0.01);
+    }
+
+    #[test]
+    fn empty_source_yields_zeroes() {
+        let stats = TraceStats::measure(std::iter::empty(), 100);
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.store_fraction(), 0.0);
+        assert_eq!(stats.mean_gap(), 0.0);
+    }
+
+    #[test]
+    fn store_fraction_counts_stores() {
+        let s = SequentialStream::new(Region::new(0, 1 << 20), 64, 0, 2, 0);
+        let stats = TraceStats::measure(s, 1000);
+        assert!((stats.store_fraction() - 0.5).abs() < 1e-9);
+    }
+}

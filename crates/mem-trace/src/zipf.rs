@@ -1,0 +1,181 @@
+//! Zipfian sampling used by irregular workload generators.
+//!
+//! Graph and sparse workloads (Graph500 BFS frontiers, PMF item popularity,
+//! `mcf`'s arc accesses) exhibit heavily skewed reuse. This module provides
+//! an O(1)-expected-time Zipf sampler based on rejection inversion
+//! (Hörmann & Derflinger 1996, as popularized by Apache Commons RNG), which
+//! samples `k ∈ [1, n]` with `P(k) ∝ 1/k^s` without precomputing tables.
+
+use rand::Rng;
+
+/// Rejection-inversion Zipf sampler over `1..=n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    exponent: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` with exponent `s > 0` (`s == 1` is the
+    /// classic harmonic case and is handled exactly).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "Zipf support must be non-empty");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let h_integral = |x: f64| h_integral(x, s);
+        let h_integral_x1 = h_integral(1.5) - 1.0;
+        let h_integral_n = h_integral(n as f64 + 0.5);
+        let threshold = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0, s), s);
+        Self {
+            n,
+            exponent: s,
+            h_integral_x1,
+            h_integral_n,
+            threshold,
+        }
+    }
+
+    /// Draws one sample in `[1, n]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let s = self.exponent;
+        loop {
+            let u = self.h_integral_n
+                + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let x = h_integral_inverse(u, s);
+            let mut k = (x + 0.5) as i64;
+            if k < 1 {
+                k = 1;
+            } else if k as u64 > self.n {
+                k = self.n as i64;
+            }
+            let kf = k as f64;
+            if kf - x <= self.threshold || u >= h_integral(kf + 0.5, s) - h(kf, s) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Support size `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+}
+
+/// `H(x) = ∫₁ˣ t^(−s) dt`, with the `s = 1` logarithmic special case.
+fn h_integral(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        x.ln()
+    } else {
+        (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+    }
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(y: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        y.exp()
+    } else {
+        let t = y * (1.0 - s) + 1.0;
+        // Guard against slight negative under-/overshoot from rounding.
+        t.max(f64::MIN_POSITIVE).powf(1.0 / (1.0 - s))
+    }
+}
+
+/// The hat density `h(x) = x^(−s)`.
+fn h(x: f64, s: f64) -> f64 {
+    x.powf(-s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(10_000, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0usize;
+        let total = 20_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) <= 100 {
+                head += 1;
+            }
+        }
+        // With s=1.1 over 10k items the top 1% of ranks carries >35% of mass.
+        assert!(
+            head as f64 / total as f64 > 0.35,
+            "head mass too small: {head}/{total}"
+        );
+    }
+
+    #[test]
+    fn rank_one_frequency_matches_theory() {
+        // For s=1, P(1) = 1/H_n. With n=100, H_100 ≈ 5.187 → P(1) ≈ 0.1928.
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let total = 200_000;
+        let ones = (0..total).filter(|_| z.sample(&mut rng) == 1).count();
+        let p = ones as f64 / total as f64;
+        assert!((p - 0.1928).abs() < 0.01, "P(1) = {p}, expected ≈ 0.1928");
+    }
+
+    #[test]
+    fn exponent_one_is_supported() {
+        let z = Zipf::new(64, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=64).contains(&k));
+        }
+    }
+
+    #[test]
+    fn singleton_support_always_returns_one() {
+        let z = Zipf::new(1, 0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn accessors_report_parameters() {
+        let z = Zipf::new(5, 1.25);
+        assert_eq!(z.n(), 5);
+        assert!((z.exponent() - 1.25).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_exponent_panics() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

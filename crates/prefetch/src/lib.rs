@@ -1,0 +1,13 @@
+//! Hardware stride prefetcher (§V-C of the paper).
+//!
+//! The paper pairs ReDHiP with "a simple hardware stride prefetcher"
+//! (its reference 8, Fu, Patel & Janssens) with a table "large enough so that its accuracy
+//! is comparable with the best prefetching techniques". We implement the
+//! classic PC-indexed reference prediction table with the two-bit
+//! Chen/Baer state machine: each static load/store instruction gets an
+//! entry tracking its last address and stride; once the stride repeats
+//! (state `Steady`), the next `degree` strided blocks are prefetched.
+
+pub mod stride;
+
+pub use stride::{StrideConfig, StridePrefetcher, StrideStats};

@@ -1,0 +1,131 @@
+//! Per-cache predictor bank for the fully-exclusive configuration.
+//!
+//! §III-C: in a fully exclusive hierarchy, data absent from the LLC may
+//! still live in any upper level, so *every* cache below L1 gets its own
+//! prediction table, scaled to the same storage-overhead ratio (0.78%).
+//! On an L1 miss all tables are consulted simultaneously and every level
+//! that predicts absence is skipped.
+
+use crate::table::PredictionTable;
+use crate::traits::{Prediction, PresencePredictor};
+
+/// A collection of prediction tables, one per covered cache instance.
+#[derive(Debug, Clone)]
+pub struct PredictorBank {
+    tables: Vec<PredictionTable>,
+}
+
+impl PredictorBank {
+    /// Builds one table per entry of `index_bits`.
+    pub fn new(index_bits: impl IntoIterator<Item = u32>) -> Self {
+        Self {
+            tables: index_bits.into_iter().map(PredictionTable::new).collect(),
+        }
+    }
+
+    /// Builds tables sized at `ratio` of each covered cache capacity
+    /// (rounded down to a power-of-two entry count, minimum 64 entries).
+    pub fn with_overhead_ratio(cache_capacities: &[u64], ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio < 1.0);
+        let tables = cache_capacities
+            .iter()
+            .map(|&cap| {
+                let bits = ((cap as f64 * ratio) * 8.0) as u64;
+                let index_bits = (63 - bits.leading_zeros().min(57)).max(6);
+                PredictionTable::new(index_bits)
+            })
+            .collect();
+        Self { tables }
+    }
+
+    /// Number of tables in the bank.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Access to one table.
+    pub fn table(&self, i: usize) -> &PredictionTable {
+        &self.tables[i]
+    }
+
+    /// Mutable access to one table.
+    pub fn table_mut(&mut self, i: usize) -> &mut PredictionTable {
+        &mut self.tables[i]
+    }
+
+    /// Predicts presence in the `i`-th covered cache.
+    pub fn predict(&self, i: usize, block: u64) -> Prediction {
+        self.tables[i].predict(block)
+    }
+
+    /// Records a fill into the `i`-th covered cache.
+    pub fn on_fill(&mut self, i: usize, block: u64) {
+        self.tables[i].on_fill(block);
+    }
+
+    /// Recalibrates the `i`-th table from its cache's resident set.
+    pub fn recalibrate(&mut self, i: usize, resident: impl Iterator<Item = u64>) {
+        self.tables[i].recalibrate_from(resident);
+    }
+
+    /// Total storage across all tables, bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.capacity_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_independent() {
+        let mut b = PredictorBank::new([8u32, 10, 12]);
+        assert_eq!(b.len(), 3);
+        b.on_fill(1, 42);
+        assert_eq!(b.predict(1, 42), Prediction::MaybePresent);
+        assert_eq!(b.predict(0, 42), Prediction::Absent);
+        assert_eq!(b.predict(2, 42), Prediction::Absent);
+    }
+
+    #[test]
+    fn recalibrate_targets_one_table() {
+        let mut b = PredictorBank::new([8u32, 8]);
+        b.on_fill(0, 7);
+        b.on_fill(1, 7);
+        b.recalibrate(0, std::iter::empty());
+        assert_eq!(b.predict(0, 7), Prediction::Absent);
+        assert_eq!(b.predict(1, 7), Prediction::MaybePresent);
+    }
+
+    #[test]
+    fn overhead_ratio_sizing_matches_paper() {
+        // 0.78% of a 64 MB LLC → 512 KB → 2^22 entries; of 4 MB L3 → 32 KB;
+        // of 256 KB L2 → 2 KB.
+        let b = PredictorBank::with_overhead_ratio(
+            &[256 << 10, 4 << 20, 64 << 20],
+            0.0078125,
+        );
+        assert_eq!(b.table(0).capacity_bytes(), 2 << 10);
+        assert_eq!(b.table(1).capacity_bytes(), 32 << 10);
+        assert_eq!(b.table(2).capacity_bytes(), 512 << 10);
+        assert_eq!(b.total_bytes(), (2 << 10) + (32 << 10) + (512 << 10));
+    }
+
+    #[test]
+    fn tiny_caches_get_minimum_table() {
+        let b = PredictorBank::with_overhead_ratio(&[1 << 10], 0.0078125);
+        assert!(b.table(0).entries() >= 64);
+    }
+
+    #[test]
+    fn is_empty_reports() {
+        let b = PredictorBank::new(std::iter::empty::<u32>());
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Continuously-exact bits-hash counting table.
+//!
+//! Semantically identical to a [`crate::table::PredictionTable`] that is
+//! recalibrated after *every* L1 miss (the leftmost point of the paper's
+//! Figure 12, "perfect recalibration"): each bits-hash index holds the
+//! exact count of resident blocks mapping to it, maintained incrementally
+//! on fills and evictions, so a zero count is always exactly "no resident
+//! alias". Used by the Fig. 12 sweep (which ignores overhead, as the paper
+//! does for that study) and by the entry-width ablation: this is what the
+//! 1-bit design would have to become if recalibration were free.
+
+use crate::hash::BitsHash;
+use crate::traits::{Prediction, PresencePredictor};
+
+/// Exact per-index reference counts under the bits-hash.
+#[derive(Debug, Clone)]
+pub struct ExactCountingTable {
+    counts: Vec<u32>,
+    hash: BitsHash,
+}
+
+impl ExactCountingTable {
+    /// Builds a table with `index_bits`-bit indices.
+    pub fn new(index_bits: u32) -> Self {
+        let hash = BitsHash::new(index_bits);
+        Self {
+            counts: vec![0; hash.table_entries() as usize],
+            hash,
+        }
+    }
+
+    /// Builds from the same byte-capacity convention as the 1-bit table
+    /// (2^p entries for `bytes × 8 = 2^p`) so sweeps compare equal-`p`
+    /// designs. Note the *hardware* cost of this design would be 32× the
+    /// bits — that is exactly the paper's argument for 1-bit entries.
+    pub fn from_capacity_bytes(bytes: u64) -> Self {
+        let bits = bytes * 8;
+        assert!(bits.is_power_of_two());
+        Self::new(bits.trailing_zeros())
+    }
+
+    /// Number of indices with a non-zero count.
+    pub fn occupied(&self) -> u64 {
+        self.counts.iter().filter(|&&c| c > 0).count() as u64
+    }
+
+    /// Index width `p`.
+    pub fn index_bits(&self) -> u32 {
+        self.hash.index_bits
+    }
+}
+
+impl PresencePredictor for ExactCountingTable {
+    fn predict(&self, block: u64) -> Prediction {
+        if self.counts[self.hash.index(block) as usize] > 0 {
+            Prediction::MaybePresent
+        } else {
+            Prediction::Absent
+        }
+    }
+
+    fn on_fill(&mut self, block: u64) {
+        self.counts[self.hash.index(block) as usize] += 1;
+    }
+
+    fn on_evict(&mut self, block: u64) {
+        let c = &mut self.counts[self.hash.index(block) as usize];
+        debug_assert!(*c > 0, "eviction without matching fill");
+        *c = c.saturating_sub(1);
+    }
+
+    fn wants_eviction_events(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_track_aliases_exactly() {
+        let mut t = ExactCountingTable::new(8);
+        t.on_fill(5);
+        t.on_fill(5 + 256); // alias
+        assert_eq!(t.predict(5), Prediction::MaybePresent);
+        t.on_evict(5);
+        assert_eq!(t.predict(5), Prediction::MaybePresent, "alias still resident");
+        t.on_evict(5 + 256);
+        assert_eq!(t.predict(5), Prediction::Absent);
+    }
+
+    #[test]
+    fn capacity_convention_matches_table() {
+        let t = ExactCountingTable::from_capacity_bytes(64 << 10);
+        assert_eq!(t.index_bits(), 19);
+    }
+
+    proptest! {
+        /// Equivalence with recalibrate-every-step: after each operation,
+        /// the exact table predicts identically to a freshly recalibrated
+        /// 1-bit table.
+        #[test]
+        fn prop_equals_fresh_recalibration(
+            ops in proptest::collection::vec((any::<bool>(), 0u64..2048), 1..200),
+        ) {
+            use crate::table::PredictionTable;
+            let mut exact = ExactCountingTable::new(7);
+            let mut resident: HashSet<u64> = HashSet::new();
+            for (fill, block) in ops {
+                if fill {
+                    if resident.insert(block) {
+                        exact.on_fill(block);
+                    }
+                } else if resident.remove(&block) {
+                    exact.on_evict(block);
+                }
+                let mut fresh = PredictionTable::new(7);
+                fresh.recalibrate_from(resident.iter().copied());
+                for probe in [block, block ^ 1, block.wrapping_add(128), 0] {
+                    prop_assert_eq!(exact.predict(probe), fresh.predict(probe));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Hash functions over block addresses.
+//!
+//! ReDHiP's key insight (§III-A): an "accurate" hash like xor-folding costs
+//! more than it returns, because it destroys the index structure that makes
+//! cheap recalibration possible. The *bits-hash* — just the low `p` bits of
+//! the block address — keeps the cache set index as a substring of the PT
+//! index (Figure 3), bounding per-entry conflicts by the cache
+//! associativity and letting one cache set recalibrate one PT line.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's bits-hash: the low `p` bits of the block address (i.e. the
+/// low `p` address bits after the block offset has been removed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitsHash {
+    /// Index width `p` in bits.
+    pub index_bits: u32,
+}
+
+impl BitsHash {
+    /// Creates a bits-hash producing `index_bits`-bit indices.
+    pub fn new(index_bits: u32) -> Self {
+        assert!((1..=40).contains(&index_bits), "unreasonable index width");
+        Self { index_bits }
+    }
+
+    /// Hashes a block address to a table index.
+    #[inline]
+    pub fn index(&self, block: u64) -> u64 {
+        block & ((1u64 << self.index_bits) - 1)
+    }
+
+    /// Number of distinct indices.
+    pub fn table_entries(&self) -> u64 {
+        1 << self.index_bits
+    }
+}
+
+/// Xor-folding hash used by the CBF baseline: the block address is split
+/// into `index_bits`-wide chunks which are xor'ed together. A per-hash seed
+/// rotation yields independent functions for multi-hash filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XorHash {
+    /// Index width in bits.
+    pub index_bits: u32,
+    /// Which hash function of a multi-hash family (0-based).
+    pub seed: u32,
+}
+
+impl XorHash {
+    /// Creates the `seed`-th xor-hash of an `index_bits`-bit family.
+    pub fn new(index_bits: u32, seed: u32) -> Self {
+        assert!((1..=40).contains(&index_bits), "unreasonable index width");
+        Self { index_bits, seed }
+    }
+
+    /// Hashes a block address to a table index.
+    #[inline]
+    pub fn index(&self, block: u64) -> u64 {
+        // Decorrelate the hash family members by rotating the input; the
+        // rotation amount is odd so families differ in every chunk.
+        let x = block.rotate_left(self.seed.wrapping_mul(21) % 63);
+        let mask = (1u64 << self.index_bits) - 1;
+        let mut acc = 0u64;
+        let mut v = x;
+        while v != 0 {
+            acc ^= v & mask;
+            v >>= self.index_bits;
+        }
+        acc
+    }
+
+    /// Number of distinct indices.
+    pub fn table_entries(&self) -> u64 {
+        1 << self.index_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bits_hash_takes_low_bits() {
+        let h = BitsHash::new(22);
+        assert_eq!(h.index(0xffff_ffff_ffff), 0x3f_ffff);
+        assert_eq!(h.index(0x40_0000), 0);
+        assert_eq!(h.table_entries(), 1 << 22);
+    }
+
+    #[test]
+    fn paper_figure3_set_index_is_substring() {
+        // p = 22, k = 16 (64MB 16-way LLC). Two blocks colliding in the PT
+        // must belong to the same cache set.
+        let h = BitsHash::new(22);
+        let k_mask = (1u64 << 16) - 1;
+        let (a, b) = (0x1234_5678_9abcu64, 0x5678_1678_9abcu64);
+        if h.index(a) == h.index(b) {
+            assert_eq!(a & k_mask, b & k_mask);
+        }
+        // Constructive: same low 22 bits, different tags → same set.
+        let base = 0x2_9abcu64 | (7 << 16);
+        let other = base | (0x99u64 << 22);
+        assert_eq!(h.index(base), h.index(other));
+        assert_eq!(base & k_mask, other & k_mask);
+    }
+
+    #[test]
+    fn xor_hash_stays_in_range_and_differs_by_seed() {
+        let h0 = XorHash::new(20, 0);
+        let h1 = XorHash::new(20, 1);
+        let mut diff = 0;
+        for i in 0..1000u64 {
+            let block = i * 0x9e37_79b9;
+            assert!(h0.index(block) < (1 << 20));
+            if h0.index(block) != h1.index(block) {
+                diff += 1;
+            }
+        }
+        assert!(diff > 900, "hash family members too correlated: {diff}");
+    }
+
+    #[test]
+    fn xor_hash_mixes_high_bits() {
+        // Unlike bits-hash, xor-hash must distinguish blocks differing only
+        // in high bits (most of the time).
+        let h = XorHash::new(20, 0);
+        let mut collide = 0;
+        for t in 0..1000u64 {
+            if h.index(0x1234) == h.index(0x1234 | (t + 1) << 20) {
+                collide += 1;
+            }
+        }
+        assert!(collide < 50, "xor-hash ignores high bits: {collide}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bits_hash_collision_implies_same_set(a in any::<u64>(), b in any::<u64>(), k in 4u32..16) {
+            let p = k + 6;
+            let h = BitsHash::new(p);
+            if h.index(a) == h.index(b) {
+                // Figure 3: PT index contains the set index as a substring.
+                prop_assert_eq!(a & ((1u64 << k) - 1), b & ((1u64 << k) - 1));
+            }
+        }
+
+        #[test]
+        fn prop_xor_hash_in_range(block in any::<u64>(), bits in 4u32..30, seed in 0u32..4) {
+            let h = XorHash::new(bits, seed);
+            prop_assert!(h.index(block) < (1u64 << bits));
+        }
+
+        #[test]
+        fn prop_hashes_are_deterministic(block in any::<u64>()) {
+            let b = BitsHash::new(18);
+            let x = XorHash::new(18, 2);
+            prop_assert_eq!(b.index(block), b.index(block));
+            prop_assert_eq!(x.index(block), x.index(block));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! ReDHiP — Recalibrating Deep Hierarchy Prediction.
+//!
+//! This crate is the paper's primary contribution: predicting, on every L1
+//! miss, whether the requested block is resident in the (inclusive)
+//! last-level cache, so that predicted misses can bypass every lower cache
+//! level and go straight to memory.
+//!
+//! The design deliberately trades *standing accuracy* for *recalibratability*
+//! (§III of the paper):
+//!
+//! * [`table::PredictionTable`] — a direct-mapped table of **1-bit** entries
+//!   indexed by [`hash::BitsHash`] (the low `p` address bits above the block
+//!   offset). Bits are set on LLC fills and never cleared on evictions, so
+//!   the table drifts toward false positives…
+//! * [`recalib::RecalibrationEngine`] — …until it is periodically rebuilt
+//!   from the LLC tag array. Because the PT index *contains* the cache set
+//!   index (`p > k`, Figure 3), all lines affecting one 64-bit PT line live
+//!   in a single cache set, and a whole set recalibrates in one cycle
+//!   through a decoder + OR tree (Figure 4). The engine models that
+//!   hardware's cycle and energy cost.
+//! * [`cbf::CountingBloomFilter`] — the prior-work baseline (Ghosh et al.):
+//!   xor-hashed k-bit saturating counters updated on fills *and* evictions.
+//! * [`bank::PredictorBank`] — a set of independently-sized tables for the
+//!   fully-exclusive configuration (§III-C), one per cache instance.
+//!
+//! The crate is substrate-agnostic: it never touches a cache directly. The
+//! `sim` crate feeds it fill/evict events and tag-array iterators.
+
+pub mod bank;
+pub mod cbf;
+pub mod exact;
+pub mod hash;
+pub mod recalib;
+pub mod table;
+pub mod traits;
+
+pub use bank::PredictorBank;
+pub use cbf::{CbfConfig, CountingBloomFilter};
+pub use exact::ExactCountingTable;
+pub use hash::{BitsHash, XorHash};
+pub use recalib::{RecalibCost, RecalibrationEngine};
+pub use table::PredictionTable;
+pub use traits::{Prediction, PresencePredictor};

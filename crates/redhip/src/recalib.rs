@@ -1,0 +1,157 @@
+//! Recalibration hardware cost model (Figures 4 & 5 of the paper).
+//!
+//! Functionally, recalibration is just "rebuild the table from the LLC tag
+//! array" ([`crate::table::PredictionTable::recalibrate_from`]). What makes
+//! it *viable* is its cost, which this module models:
+//!
+//! * The bits-hash guarantees that all cache lines affecting one 64-bit PT
+//!   line sit in a single cache set (`p − k = 6` → 2^6 = 64 bit slots per
+//!   set). A 6→64 decoder per way plus an OR tree turns one set's ≤16 tags
+//!   into one PT line **in one cycle** (Figure 4).
+//! * The PT is banked like the LLC tag array, so `banks` sets recalibrate
+//!   per cycle (Figure 5). The paper's medium-effort design: 65536 sets / 4
+//!   banks = 16384 ≈ 16K stall cycles per full recalibration.
+//! * Energy: one tag-array read per set (the whole set reads out at once)
+//!   plus one PT line write per line.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost of one complete recalibration pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecalibCost {
+    /// Stall cycles (neither the PT nor the LLC is usable meanwhile).
+    pub cycles: u64,
+    /// Energy in nanojoules.
+    pub energy_nj: f64,
+}
+
+/// Models the recalibration hardware for one (cache, table) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecalibrationEngine {
+    /// Sets in the covered cache (2^k).
+    pub cache_sets: u64,
+    /// Ways per set in the covered cache.
+    pub cache_assoc: usize,
+    /// Table lines of 64 bits (2^p / 64).
+    pub table_lines: u64,
+    /// Parallel recalibration banks (the paper's medium effort: 4).
+    pub banks: u64,
+    /// Energy of one tag-array set read, nanojoules.
+    pub tag_read_nj: f64,
+    /// Energy of one PT line write, nanojoules.
+    pub line_write_nj: f64,
+}
+
+impl RecalibrationEngine {
+    /// Builds the engine, checking the structural prerequisites of the
+    /// Figure 4 hardware.
+    ///
+    /// # Panics
+    /// Panics when the table has fewer lines than the cache has sets —
+    /// i.e. when `p < k + 6` and several cache sets would have to fold into
+    /// one PT line, which the decoder hardware cannot do in one cycle. (The
+    /// paper's designs always satisfy `p ≥ k + 6`; smaller tables in the
+    /// Fig. 11 sweep are modelled with proportionally more sets per line
+    /// and correspondingly more cycles — see [`RecalibrationEngine::cost`].)
+    pub fn new(
+        cache_sets: u64,
+        cache_assoc: usize,
+        table_lines: u64,
+        banks: u64,
+        tag_read_nj: f64,
+        line_write_nj: f64,
+    ) -> Self {
+        assert!(cache_sets.is_power_of_two());
+        assert!(table_lines.is_power_of_two());
+        assert!(banks >= 1 && banks.is_power_of_two());
+        Self {
+            cache_sets,
+            cache_assoc,
+            table_lines,
+            banks,
+            tag_read_nj,
+            line_write_nj,
+        }
+    }
+
+    /// Sets whose tags feed a single PT line. 1 in the paper's designs
+    /// (`p − k = 6`); >1 for undersized tables.
+    pub fn sets_per_line(&self) -> u64 {
+        (self.cache_sets / self.table_lines).max(1)
+    }
+
+    /// PT lines produced per cache set. 1 in the paper's designs; >1 when
+    /// the table is oversized (`p − k > 6`), which costs nothing extra —
+    /// the set still reads out once.
+    pub fn lines_per_set(&self) -> u64 {
+        (self.table_lines / self.cache_sets).max(1)
+    }
+
+    /// Cost of one full recalibration pass.
+    ///
+    /// One cache set is processed per bank-cycle (all ≤16 tags of the set
+    /// decode and OR in parallel). Energy is one tag-array set read per set
+    /// plus one line write per PT line.
+    pub fn cost(&self) -> RecalibCost {
+        let cycles = self.cache_sets.div_ceil(self.banks);
+        let energy_nj = self.cache_sets as f64 * self.tag_read_nj
+            + self.table_lines as f64 * self.line_write_nj;
+        RecalibCost { cycles, energy_nj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example (§IV): 64 MB 16-way LLC (65536 sets, 1M
+    /// tags), 512 KB PT (65536 lines), 4 banks → 16K cycles.
+    #[test]
+    fn paper_medium_effort_is_16k_cycles() {
+        let e = RecalibrationEngine::new(65536, 16, 65536, 4, 1.171, 0.02);
+        assert_eq!(e.cost().cycles, 16384);
+        assert_eq!(e.sets_per_line(), 1);
+        assert_eq!(e.lines_per_set(), 1);
+    }
+
+    #[test]
+    fn banking_scales_cycles_not_energy() {
+        let base = RecalibrationEngine::new(4096, 16, 4096, 1, 1.171, 0.02);
+        let banked = RecalibrationEngine::new(4096, 16, 4096, 8, 1.171, 0.02);
+        assert_eq!(base.cost().cycles, 4096);
+        assert_eq!(banked.cost().cycles, 512);
+        assert!((base.cost().energy_nj - banked.cost().energy_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_combines_tag_reads_and_line_writes() {
+        let e = RecalibrationEngine::new(1024, 16, 1024, 4, 2.0, 0.5);
+        let c = e.cost();
+        assert!((c.energy_nj - (1024.0 * 2.0 + 1024.0 * 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undersized_table_folds_sets_per_line() {
+        // p − k < 6: table lines < cache sets.
+        let e = RecalibrationEngine::new(4096, 16, 1024, 4, 1.0, 0.02);
+        assert_eq!(e.sets_per_line(), 4);
+        // Still one set read per cycle per bank.
+        assert_eq!(e.cost().cycles, 1024);
+    }
+
+    #[test]
+    fn oversized_table_costs_no_extra_cycles() {
+        let e = RecalibrationEngine::new(1024, 16, 4096, 4, 1.0, 0.02);
+        assert_eq!(e.lines_per_set(), 4);
+        assert_eq!(e.cost().cycles, 256);
+        // But writes every line.
+        assert!((e.cost().energy_nj - (1024.0 + 4096.0 * 0.02)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demo_scale_cost() {
+        // 8 MB 16-way LLC (8192 sets), 64 KB PT (8192 lines), 4 banks.
+        let e = RecalibrationEngine::new(8192, 16, 8192, 4, 1.171, 0.02);
+        assert_eq!(e.cost().cycles, 2048);
+    }
+}

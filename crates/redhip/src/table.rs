@@ -1,0 +1,271 @@
+//! The ReDHiP prediction table: direct-mapped, 1-bit entries, bits-hash.
+
+use crate::hash::BitsHash;
+use crate::traits::{Prediction, PresencePredictor};
+
+/// Direct-mapped bitmap predicting LLC residency.
+///
+/// A bit is set when a block whose hash maps to it is filled into the LLC
+/// and is *never cleared on eviction* (§III-A, "Entry Width"): with a 1-bit
+/// entry there is nothing to decrement. Staleness accumulates as false
+/// positives until [`PredictionTable::recalibrate_from`] rebuilds the whole
+/// table from the LLC's true contents.
+///
+/// The invariant that makes bypassing safe: the set of bits is always a
+/// superset of the hashes of resident blocks (fills set bits immediately;
+/// recalibration replaces the table with exactly the resident hashes).
+/// Therefore a zero bit proves absence — no false negatives, ever.
+#[derive(Debug, Clone)]
+pub struct PredictionTable {
+    words: Vec<u64>,
+    hash: BitsHash,
+}
+
+/// Bits per table word (the paper's "64-bit line", one per LLC set when
+/// `p − k = 6`).
+pub const WORD_BITS: u32 = 64;
+
+impl PredictionTable {
+    /// Builds a table with `index_bits`-bit indices (capacity
+    /// `2^index_bits` one-bit entries = `2^index_bits / 8` bytes).
+    pub fn new(index_bits: u32) -> Self {
+        let hash = BitsHash::new(index_bits);
+        let words = (hash.table_entries() / u64::from(WORD_BITS)).max(1);
+        Self {
+            words: vec![0; words as usize],
+            hash,
+        }
+    }
+
+    /// Builds the table from a capacity in bytes (must give a power-of-two
+    /// entry count; the paper's 512 KB → 2^22 entries → p = 22).
+    pub fn from_capacity_bytes(bytes: u64) -> Self {
+        let bits = bytes * 8;
+        assert!(
+            bits.is_power_of_two(),
+            "table capacity must hold a power-of-two number of 1-bit entries"
+        );
+        Self::new(bits.trailing_zeros())
+    }
+
+    /// Index width `p`.
+    pub fn index_bits(&self) -> u32 {
+        self.hash.index_bits
+    }
+
+    /// Capacity in 1-bit entries.
+    pub fn entries(&self) -> u64 {
+        self.hash.table_entries()
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.entries() / 8
+    }
+
+    /// Number of 64-bit lines.
+    pub fn lines(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    #[inline]
+    fn locate(&self, block: u64) -> (usize, u64) {
+        let idx = self.hash.index(block);
+        ((idx / u64::from(WORD_BITS)) as usize, idx % u64::from(WORD_BITS))
+    }
+
+    /// Tests the bit for `block`.
+    #[inline]
+    pub fn test(&self, block: u64) -> bool {
+        let (w, b) = self.locate(block);
+        self.words[w] >> b & 1 != 0
+    }
+
+    /// Sets the bit for `block`.
+    #[inline]
+    pub fn set(&mut self, block: u64) {
+        let (w, b) = self.locate(block);
+        self.words[w] |= 1 << b;
+    }
+
+    /// Number of set bits (diagnostics: table occupancy / staleness).
+    pub fn popcount(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Rebuilds the table from the true resident block set — the functional
+    /// effect of the Figure 4 hardware (the decoder + OR-tree per set). The
+    /// cycle/energy *cost* of doing this is modelled separately by
+    /// [`crate::recalib::RecalibrationEngine`].
+    pub fn recalibrate_from(&mut self, resident: impl Iterator<Item = u64>) {
+        self.words.fill(0);
+        for block in resident {
+            self.set(block);
+        }
+    }
+}
+
+impl PresencePredictor for PredictionTable {
+    fn predict(&self, block: u64) -> Prediction {
+        if self.test(block) {
+            Prediction::MaybePresent
+        } else {
+            Prediction::Absent
+        }
+    }
+
+    fn on_fill(&mut self, block: u64) {
+        self.set(block);
+    }
+
+    fn on_evict(&mut self, _block: u64) {
+        // 1-bit entries intentionally ignore evictions (§III-A).
+    }
+
+    fn wants_eviction_events(&self) -> bool {
+        false
+    }
+
+    fn recalibrate(&mut self, resident: &mut dyn Iterator<Item = u64>) {
+        self.recalibrate_from(resident);
+    }
+
+    fn supports_recalibration(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_sizing_512kb_is_p22() {
+        let t = PredictionTable::from_capacity_bytes(512 << 10);
+        assert_eq!(t.index_bits(), 22);
+        assert_eq!(t.entries(), 1 << 22);
+        assert_eq!(t.capacity_bytes(), 512 << 10);
+        assert_eq!(t.lines(), 65536); // one 64-bit line per 64MB-LLC set
+    }
+
+    #[test]
+    fn demo_sizing_64kb_is_p19() {
+        let t = PredictionTable::from_capacity_bytes(64 << 10);
+        assert_eq!(t.index_bits(), 19);
+        assert_eq!(t.lines(), 8192); // one line per 8MB-LLC set (demo scale)
+    }
+
+    #[test]
+    fn fill_sets_bit_evict_does_not_clear() {
+        let mut t = PredictionTable::new(10);
+        assert_eq!(t.predict(5), Prediction::Absent);
+        t.on_fill(5);
+        assert_eq!(t.predict(5), Prediction::MaybePresent);
+        t.on_evict(5);
+        assert_eq!(t.predict(5), Prediction::MaybePresent, "1-bit: stale positive");
+        assert!(!t.wants_eviction_events());
+    }
+
+    #[test]
+    fn aliasing_blocks_share_a_bit() {
+        let mut t = PredictionTable::new(8);
+        t.on_fill(3);
+        // 3 + 256 aliases with 3 under an 8-bit bits-hash.
+        assert_eq!(t.predict(3 + 256), Prediction::MaybePresent);
+        assert_eq!(t.predict(4), Prediction::Absent);
+    }
+
+    #[test]
+    fn recalibration_clears_stale_bits() {
+        let mut t = PredictionTable::new(12);
+        for b in 0..100u64 {
+            t.on_fill(b);
+        }
+        assert_eq!(t.popcount(), 100);
+        // Cache now only holds blocks 0..10.
+        t.recalibrate_from(0..10u64);
+        assert_eq!(t.popcount(), 10);
+        assert_eq!(t.predict(50), Prediction::Absent);
+        assert_eq!(t.predict(5), Prediction::MaybePresent);
+    }
+
+    #[test]
+    fn recalibrate_equals_fresh_fill() {
+        let resident: Vec<u64> = vec![1, 77, 4096, 123_456, 99];
+        let mut stale = PredictionTable::new(14);
+        for b in 0..500u64 {
+            stale.on_fill(b * 3);
+        }
+        stale.recalibrate_from(resident.iter().copied());
+
+        let mut fresh = PredictionTable::new(14);
+        for &b in &resident {
+            fresh.on_fill(b);
+        }
+        assert_eq!(stale.words, fresh.words);
+    }
+
+    #[test]
+    fn trait_recalibrate_routes_to_rebuild() {
+        let mut t = PredictionTable::new(10);
+        t.on_fill(900);
+        assert!(t.supports_recalibration());
+        PresencePredictor::recalibrate(&mut t, &mut (0..4u64));
+        assert_eq!(t.predict(900), Prediction::Absent);
+        assert_eq!(t.predict(2), Prediction::MaybePresent);
+    }
+
+    proptest! {
+        /// The bypass-safety invariant: under arbitrary interleavings of
+        /// fills, evictions, and recalibrations mirroring a ground-truth
+        /// resident set, no resident block is ever predicted Absent.
+        #[test]
+        fn prop_no_false_negatives(
+            ops in proptest::collection::vec((0u8..3, 0u64..4096), 1..300),
+            index_bits in 6u32..14,
+        ) {
+            let mut t = PredictionTable::new(index_bits);
+            let mut resident: HashSet<u64> = HashSet::new();
+            for (op, block) in ops {
+                match op {
+                    0 => {
+                        if resident.insert(block) {
+                            t.on_fill(block);
+                        }
+                    }
+                    1 => {
+                        if resident.remove(&block) {
+                            t.on_evict(block);
+                        }
+                    }
+                    _ => t.recalibrate_from(resident.iter().copied()),
+                }
+                for &r in &resident {
+                    prop_assert_eq!(t.predict(r), Prediction::MaybePresent);
+                }
+            }
+        }
+
+        /// Right after recalibration the only positives are aliases of
+        /// resident blocks (per-bit exactness).
+        #[test]
+        fn prop_recalibration_exact_per_bit(
+            resident in proptest::collection::hash_set(0u64..100_000, 0..64),
+            probe in proptest::collection::vec(0u64..100_000, 32),
+        ) {
+            let mut t = PredictionTable::new(10);
+            for b in 0..2000u64 {
+                t.on_fill(b); // heavy staleness
+            }
+            t.recalibrate_from(resident.iter().copied());
+            let hash = BitsHash::new(10);
+            let live: HashSet<u64> = resident.iter().map(|&b| hash.index(b)).collect();
+            for p in probe {
+                let predicted = t.predict(p) == Prediction::MaybePresent;
+                prop_assert_eq!(predicted, live.contains(&hash.index(p)));
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The predictor interface shared by ReDHiP's table and the CBF baseline.
+
+/// Outcome of a presence prediction.
+///
+/// Conservative semantics: `Absent` is a *guarantee* (bypassing is safe —
+/// no false negatives), `MaybePresent` is only a hint (false positives cost
+/// wasted lookups but never correctness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prediction {
+    /// The block is definitely not in the covered cache.
+    Absent,
+    /// The block may be in the covered cache.
+    MaybePresent,
+}
+
+impl Prediction {
+    /// True for [`Prediction::Absent`].
+    pub fn is_absent(self) -> bool {
+        matches!(self, Prediction::Absent)
+    }
+}
+
+/// A structure predicting whether a block is resident in one cache.
+///
+/// Contract (property-tested for both implementations): after any sequence
+/// of `on_fill` / `on_evict` / `recalibrate` calls that mirrors the covered
+/// cache's true contents, `predict` never returns `Absent` for a resident
+/// block.
+pub trait PresencePredictor {
+    /// Predicts presence of `block`.
+    fn predict(&self, block: u64) -> Prediction;
+
+    /// Notifies the predictor that `block` was installed in the cache.
+    fn on_fill(&mut self, block: u64);
+
+    /// Notifies the predictor that `block` left the cache.
+    ///
+    /// ReDHiP's 1-bit table ignores this (that is the point of the design);
+    /// the CBF decrements counters.
+    fn on_evict(&mut self, block: u64);
+
+    /// Whether eviction events carry information for this predictor (lets
+    /// the simulator skip the call — and its modelled energy — for ReDHiP).
+    fn wants_eviction_events(&self) -> bool;
+
+    /// Rebuilds the structure from the cache's true resident set. Default:
+    /// unsupported (no-op).
+    fn recalibrate(&mut self, _resident: &mut dyn Iterator<Item = u64>) {}
+
+    /// Whether [`PresencePredictor::recalibrate`] does anything.
+    fn supports_recalibration(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_is_absent() {
+        assert!(Prediction::Absent.is_absent());
+        assert!(!Prediction::MaybePresent.is_absent());
+    }
+
+    struct Never;
+    impl PresencePredictor for Never {
+        fn predict(&self, _: u64) -> Prediction {
+            Prediction::MaybePresent
+        }
+        fn on_fill(&mut self, _: u64) {}
+        fn on_evict(&mut self, _: u64) {}
+        fn wants_eviction_events(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn default_recalibration_is_a_noop() {
+        let mut n = Never;
+        assert!(!n.supports_recalibration());
+        n.recalibrate(&mut std::iter::empty());
+        assert_eq!(n.predict(1), Prediction::MaybePresent);
+    }
+}

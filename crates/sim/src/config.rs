@@ -1,0 +1,231 @@
+//! Simulation configuration.
+
+use cache_sim::{InclusionPolicy, ReplacementPolicy};
+use energy_model::PlatformSpec;
+use prefetch::StrideConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's five compared mechanisms to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// No prediction/optimization; all levels parallel tag+data.
+    Base,
+    /// The paper's contribution (single PT for inclusive/hybrid; one table
+    /// per cache for the fully-exclusive configuration, §III-C).
+    Redhip,
+    /// Counting-Bloom-filter predictor at the same area budget.
+    Cbf,
+    /// Phased Cache: L3/L4 serialize tag→data; no predictor.
+    Phased,
+    /// Perfect LLC-residency predictor with zero overhead.
+    Oracle,
+}
+
+impl Mechanism {
+    /// Display name as in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::Base => "Base",
+            Mechanism::Redhip => "ReDHiP",
+            Mechanism::Cbf => "CBF",
+            Mechanism::Phased => "Phased",
+            Mechanism::Oracle => "Oracle",
+        }
+    }
+
+    /// Whether this mechanism instantiates a predictor structure (and so
+    /// pays its leakage).
+    pub fn has_predictor(self) -> bool {
+        matches!(self, Mechanism::Redhip | Mechanism::Cbf)
+    }
+}
+
+/// CBF design knobs (Table/§II parameters of the baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CbfParams {
+    /// Bits per counter.
+    pub counter_bits: u32,
+    /// Number of hash functions (the referenced work: 1 suffices).
+    pub num_hashes: u32,
+}
+
+impl Default for CbfParams {
+    fn default() -> Self {
+        Self {
+            counter_bits: 4,
+            num_hashes: 1,
+        }
+    }
+}
+
+/// Which event classes are charged dynamic energy.
+///
+/// The paper's model (like most tag/data lookup analyses) prices array
+/// *lookups*; fill writes and writeback writes are identical across the
+/// compared mechanisms and are excluded by default to match its
+/// accounting. Every knob exists so the `accounting_ablation` bench can
+/// quantify the choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct AccountingOptions {
+    /// Charge a data-array write for every line fill.
+    pub charge_fills: bool,
+    /// Charge a data-array write for every writeback received.
+    pub charge_writebacks: bool,
+    /// Charge a tag-array access for every back-invalidation probe.
+    pub charge_invalidation_probes: bool,
+}
+
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Architecture parameters (sizes, delays, energies).
+    pub platform: PlatformSpec,
+    /// Compared mechanism.
+    pub mechanism: Mechanism,
+    /// Cache inclusion policy (§III-C / Fig. 13).
+    pub policy: InclusionPolicy,
+    /// Replacement policy for every level.
+    pub replacement: ReplacementPolicy,
+    /// Stride prefetcher, if enabled (§V-C / Figs. 14–15). Inclusive only.
+    pub prefetch: Option<StrideConfig>,
+    /// Prediction-table capacity override in bytes (Fig. 11 sweep);
+    /// `None` uses the platform's predictor size.
+    pub pt_bytes: Option<u64>,
+    /// L1 misses between recalibrations (Fig. 12 sweep); `None` = never.
+    pub recalib_period: Option<u64>,
+    /// Parallel recalibration banks (the paper's medium effort: 4).
+    pub recalib_banks: u64,
+    /// CBF parameters (used when `mechanism == Cbf`).
+    pub cbf: CbfParams,
+    /// Average CPI charged per non-memory instruction.
+    pub avg_cpi: f64,
+    /// Memory references simulated per core.
+    pub refs_per_core: usize,
+    /// Charge predictor lookup energy/latency and recalibration overhead.
+    /// The paper disables this for the Fig. 11/12 accuracy studies.
+    pub count_prediction_overhead: bool,
+    /// Energy accounting details.
+    pub accounting: AccountingOptions,
+    /// Offset applied per core to separate address spaces (bit position).
+    /// 0 disables separation (all cores share addresses).
+    pub address_space_bit: u32,
+}
+
+impl SimConfig {
+    /// A ready-to-run configuration for `mechanism` on `platform` with the
+    /// paper's defaults for everything else.
+    pub fn new(platform: PlatformSpec, mechanism: Mechanism) -> Self {
+        Self {
+            platform,
+            mechanism,
+            policy: InclusionPolicy::Inclusive,
+            replacement: ReplacementPolicy::Lru,
+            prefetch: None,
+            pt_bytes: None,
+            recalib_period: Some(65_536),
+            recalib_banks: 4,
+            cbf: CbfParams::default(),
+            avg_cpi: 1.5,
+            refs_per_core: 1_000_000,
+            count_prediction_overhead: true,
+            accounting: AccountingOptions::default(),
+            address_space_bit: 44,
+        }
+    }
+
+    /// Effective prediction-table capacity in bytes.
+    pub fn effective_pt_bytes(&self) -> u64 {
+        self.pt_bytes.unwrap_or(self.platform.predictor.size_bytes)
+    }
+
+    /// Validates cross-field constraints, returning a description of the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.policy == InclusionPolicy::Exclusive
+            && !matches!(self.mechanism, Mechanism::Base | Mechanism::Redhip)
+        {
+            return Err(format!(
+                "{} is undefined for a fully exclusive hierarchy: absence \
+                 from the LLC does not imply absence on chip (§III-C gives \
+                 ReDHiP per-level tables; Base needs no predictor)",
+                self.mechanism.name()
+            ));
+        }
+        if self.prefetch.is_some() && self.policy != InclusionPolicy::Inclusive {
+            return Err("prefetching is modelled for the inclusive hierarchy only".into());
+        }
+        if self.avg_cpi <= 0.0 {
+            return Err("avg_cpi must be positive".into());
+        }
+        if self.refs_per_core == 0 {
+            return Err("refs_per_core must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use energy_model::presets::demo_scale;
+
+    #[test]
+    fn defaults_match_paper_choices() {
+        let c = SimConfig::new(demo_scale(), Mechanism::Redhip);
+        assert_eq!(c.recalib_banks, 4);
+        assert_eq!(c.policy, InclusionPolicy::Inclusive);
+        assert!(c.count_prediction_overhead);
+        assert_eq!(c.effective_pt_bytes(), 64 << 10);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn pt_override_takes_effect() {
+        let mut c = SimConfig::new(demo_scale(), Mechanism::Redhip);
+        c.pt_bytes = Some(8 << 10);
+        assert_eq!(c.effective_pt_bytes(), 8 << 10);
+    }
+
+    #[test]
+    fn exclusive_rejects_predictorless_bypass_mechanisms() {
+        for m in [Mechanism::Cbf, Mechanism::Oracle, Mechanism::Phased] {
+            let mut c = SimConfig::new(demo_scale(), m);
+            c.policy = InclusionPolicy::Exclusive;
+            assert!(c.validate().is_err(), "{m:?} must be rejected");
+        }
+        for m in [Mechanism::Base, Mechanism::Redhip] {
+            let mut c = SimConfig::new(demo_scale(), m);
+            c.policy = InclusionPolicy::Exclusive;
+            assert!(c.validate().is_ok(), "{m:?} must be accepted");
+        }
+    }
+
+    #[test]
+    fn prefetch_requires_inclusive() {
+        let mut c = SimConfig::new(demo_scale(), Mechanism::Base);
+        c.prefetch = Some(StrideConfig::default());
+        c.policy = InclusionPolicy::Hybrid;
+        assert!(c.validate().is_err());
+        c.policy = InclusionPolicy::Inclusive;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn mechanism_metadata() {
+        assert!(Mechanism::Redhip.has_predictor());
+        assert!(Mechanism::Cbf.has_predictor());
+        assert!(!Mechanism::Oracle.has_predictor());
+        assert_eq!(Mechanism::Phased.name(), "Phased");
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = SimConfig::new(demo_scale(), Mechanism::Base);
+        let s = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.mechanism, Mechanism::Base);
+        assert_eq!(back.refs_per_core, c.refs_per_core);
+    }
+}

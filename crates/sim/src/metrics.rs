@@ -1,0 +1,135 @@
+//! Derived metrics: the quantities the paper's figures plot.
+
+use crate::run::RunResult;
+use serde::Serialize;
+
+/// Comparison of a mechanism run against the Base run of the same workload.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Comparison {
+    /// Base execution cycles.
+    pub base_cycles: u64,
+    /// Mechanism execution cycles.
+    pub cycles: u64,
+    /// Base total dynamic energy (J).
+    pub base_dynamic_j: f64,
+    /// Mechanism total dynamic energy (J).
+    pub dynamic_j: f64,
+    /// Base total (dynamic + leakage) energy (J).
+    pub base_total_j: f64,
+    /// Mechanism total energy (J).
+    pub total_j: f64,
+}
+
+impl Comparison {
+    /// Builds the comparison from two runs of the same workload.
+    pub fn new(base: &RunResult, other: &RunResult) -> Self {
+        Self {
+            base_cycles: base.cycles,
+            cycles: other.cycles,
+            base_dynamic_j: base.energy.total_dynamic_j(),
+            dynamic_j: other.energy.total_dynamic_j(),
+            base_total_j: base.energy.total_j(),
+            total_j: other.energy.total_j(),
+        }
+    }
+
+    /// Speedup over base as a fraction (Fig. 6/14: positive = faster).
+    pub fn speedup(&self) -> f64 {
+        self.base_cycles as f64 / self.cycles as f64 - 1.0
+    }
+
+    /// Dynamic energy normalized to base (Fig. 7/11/12/15: lower = better).
+    pub fn dynamic_ratio(&self) -> f64 {
+        if self.base_dynamic_j == 0.0 {
+            return 1.0;
+        }
+        self.dynamic_j / self.base_dynamic_j
+    }
+
+    /// Dynamic energy *saving* relative to base (Fig. 13).
+    pub fn dynamic_saving(&self) -> f64 {
+        1.0 - self.dynamic_ratio()
+    }
+
+    /// Total (dynamic + static) energy saving — the paper's "overall 22%".
+    pub fn total_saving(&self) -> f64 {
+        if self.base_total_j == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.total_j / self.base_total_j
+    }
+
+    /// The paper's performance-energy metric (Fig. 8): the product of the
+    /// performance gain and total energy saving, expressed as
+    /// `(1 + speedup) × (1 + total saving)` so that a scheme with no effect
+    /// scores 1.0 (matching the figure's axis starting at 1).
+    pub fn perf_energy_metric(&self) -> f64 {
+        (1.0 + self.speedup()) * (1.0 + self.total_saving())
+    }
+}
+
+/// Arithmetic mean helper for per-benchmark series ("average" bars).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp(bc: u64, c: u64, bd: f64, d: f64, bt: f64, t: f64) -> Comparison {
+        Comparison {
+            base_cycles: bc,
+            cycles: c,
+            base_dynamic_j: bd,
+            dynamic_j: d,
+            base_total_j: bt,
+            total_j: t,
+        }
+    }
+
+    #[test]
+    fn speedup_sign_convention() {
+        assert!((cmp(110, 100, 1.0, 1.0, 1.0, 1.0).speedup() - 0.1).abs() < 1e-12);
+        assert!(cmp(100, 110, 1.0, 1.0, 1.0, 1.0).speedup() < 0.0);
+    }
+
+    #[test]
+    fn energy_ratios() {
+        let c = cmp(100, 100, 2.0, 0.8, 4.0, 3.0);
+        assert!((c.dynamic_ratio() - 0.4).abs() < 1e-12);
+        assert!((c.dynamic_saving() - 0.6).abs() < 1e-12);
+        assert!((c.total_saving() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_is_product_of_gains() {
+        // 8% speedup, 22% total saving → 1.08 × 1.22 ≈ 1.318 (paper's
+        // headline ReDHiP point lands around 1.3 in Fig. 8).
+        let c = cmp(108, 100, 1.0, 0.39, 1.0, 0.78);
+        assert!((c.perf_energy_metric() - 1.08 * 1.22).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neutral_scheme_scores_one() {
+        let c = cmp(100, 100, 1.0, 1.0, 1.0, 1.0);
+        assert!((c.perf_energy_metric() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_base_is_guarded() {
+        let c = cmp(100, 100, 0.0, 1.0, 0.0, 1.0);
+        assert_eq!(c.dynamic_ratio(), 1.0);
+        assert_eq!(c.total_saving(), 0.0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! The run harness: drives per-core trace streams through a [`System`].
+
+use crate::config::SimConfig;
+use crate::stats::{PredictionStats, PrefetchSummary};
+use crate::system::System;
+use cache_sim::HierarchyStats;
+use energy_model::EnergyReport;
+use mem_trace::record::TraceRecord;
+use serde::Serialize;
+
+/// A per-core stream of records.
+pub type CoreTrace = Box<dyn Iterator<Item = TraceRecord> + Send>;
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Execution time in cycles (slowest core).
+    pub cycles: u64,
+    /// References actually simulated per core.
+    pub refs_per_core: Vec<u64>,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+    /// Per-level cache statistics.
+    pub hierarchy: HierarchyStats,
+    /// Predictor outcome counters.
+    pub prediction: PredictionStats,
+    /// Prefetcher outcome counters (zeroes when prefetch is off).
+    pub prefetch: PrefetchSummary,
+}
+
+impl RunResult {
+    /// Total references simulated.
+    pub fn total_refs(&self) -> u64 {
+        self.refs_per_core.iter().sum()
+    }
+
+    /// Hit rate of cache level `i` (0 = L1).
+    pub fn hit_rate(&self, level: usize) -> f64 {
+        self.hierarchy.levels[level].hit_rate()
+    }
+
+    /// Average memory-access cycles per reference (diagnostic).
+    pub fn cycles_per_ref(&self) -> f64 {
+        let refs = self.total_refs();
+        if refs == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / (refs as f64 / self.refs_per_core.len() as f64)
+        }
+    }
+}
+
+/// Per-core "physical" address mapping.
+///
+/// Two components model what distinct processes see on a real machine:
+///
+/// * a high-bit offset at `cfg.address_space_bit` makes the address spaces
+///   disjoint, so duplicated traces *compete* for the shared LLC instead of
+///   sharing data (the paper's multi-programmed setup);
+/// * a page-granular scramble (XOR of the 4 KB page number with a per-core
+///   constant; identity for core 0) stands in for the OS's physical page
+///   allocation. Without it, identical virtual streams would carry
+///   identical low address bits on every core and alias *systematically*
+///   in the bits-hashed prediction table — something that cannot happen
+///   with real per-process page tables. Page-internal locality (and the
+///   L1 index bits) is preserved; streams crossing page boundaries lose
+///   physical contiguity, exactly as on real hardware.
+fn core_physical(cfg: &SimConfig, core: usize, addr: u64) -> u64 {
+    let scramble = (core as u64).wrapping_mul(0x9e37_79b9) & 0x03ff_ffff; // bits 12..38
+    let scrambled = addr ^ (scramble << 12);
+    if cfg.address_space_bit == 0 {
+        scrambled
+    } else {
+        scrambled | ((core as u64) << cfg.address_space_bit)
+    }
+}
+
+/// Runs `cfg` over one trace generator per core.
+///
+/// Each core's addresses pass through the per-core physical mapping
+/// (`core_physical` above). The interleaving
+/// advances whichever core has the smallest local clock, so faster cores
+/// issue more requests per unit time — the same approximation the paper's
+/// trace-driven simulator makes.
+///
+/// # Panics
+/// Panics when the number of traces differs from the platform's core count
+/// or the configuration is invalid.
+pub fn run_traces(cfg: &SimConfig, traces: Vec<CoreTrace>) -> RunResult {
+    assert_eq!(
+        traces.len(),
+        cfg.platform.cores,
+        "need exactly one trace per core"
+    );
+    let mut system = System::new(cfg.clone());
+    let cores = traces.len();
+
+    let mut traces = traces;
+    let mut done = vec![false; cores];
+    let mut counts = vec![0u64; cores];
+    let target = cfg.refs_per_core as u64;
+
+    loop {
+        // Advance the core with the smallest clock among unfinished cores.
+        let mut core = usize::MAX;
+        let mut best = f64::INFINITY;
+        for (c, &finished) in done.iter().enumerate() {
+            if !finished && system.clocks()[c] < best {
+                best = system.clocks()[c];
+                core = c;
+            }
+        }
+        if core == usize::MAX {
+            break;
+        }
+        match traces[core].next() {
+            Some(mut rec) => {
+                rec.addr = core_physical(cfg, core, rec.addr);
+                system.step(core, &rec);
+                counts[core] += 1;
+                if counts[core] >= target {
+                    done[core] = true;
+                }
+            }
+            None => done[core] = true,
+        }
+    }
+
+    RunResult {
+        cycles: system.cycles(),
+        refs_per_core: counts,
+        energy: system.finalize_energy(),
+        hierarchy: system.hierarchy().stats().clone(),
+        prediction: system.prediction_stats(),
+        prefetch: system.prefetch_summary(),
+    }
+}
+
+/// Runs one trace duplicated onto every core (the paper's single-benchmark
+/// methodology: "we multi-program them by duplicating the trace into 8
+/// copies running on each core"). The generator factory is invoked once
+/// per core so each copy owns independent state.
+pub fn run_duplicated<F>(cfg: &SimConfig, mut make_trace: F) -> RunResult
+where
+    F: FnMut(usize) -> CoreTrace,
+{
+    let traces = (0..cfg.platform.cores).map(&mut make_trace).collect();
+    run_traces(cfg, traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mechanism;
+    use energy_model::presets::demo_scale;
+    use mem_trace::record::MemOp;
+
+    fn tiny_cfg(mechanism: Mechanism) -> SimConfig {
+        let mut platform = demo_scale();
+        platform.cores = 2;
+        let mut c = SimConfig::new(platform, mechanism);
+        c.refs_per_core = 40_000;
+        c.recalib_period = Some(2_000);
+        c
+    }
+
+    fn stream(seed: u64) -> CoreTrace {
+        // Deterministic mixed stream: a hot 8 KB region comfortably inside
+        // L1 (7 of 8 refs) plus cold, never-reused misses (1 of 8) that the
+        // predictor should learn to bypass.
+        Box::new((0..u64::MAX).map(move |i| {
+            let x = (i.wrapping_mul(6364136223846793005).wrapping_add(seed)) >> 33;
+            let addr = if i % 8 != 0 {
+                (x % 128) * 64 // hot 8 KB region
+            } else {
+                0x1000_0000 + (x % (1 << 22)) * 64 // cold 256 MB region
+            };
+            TraceRecord::new(0x400 + (i % 7) * 4, addr, if i % 5 == 0 { MemOp::Store } else { MemOp::Load }, 2)
+        }))
+    }
+
+    #[test]
+    fn base_run_produces_sane_counts() {
+        let cfg = tiny_cfg(Mechanism::Base);
+        let r = run_traces(&cfg, vec![stream(1), stream(2)]);
+        assert_eq!(r.total_refs(), 80_000);
+        assert!(r.cycles > 0);
+        assert!(r.hit_rate(0) > 0.5, "L1 hit rate {}", r.hit_rate(0));
+        assert!(r.energy.total_dynamic_j() > 0.0);
+        assert_eq!(r.prediction.lookups, 0);
+    }
+
+    #[test]
+    fn redhip_bypasses_and_saves_dynamic_energy() {
+        let base = run_traces(&tiny_cfg(Mechanism::Base), vec![stream(1), stream(2)]);
+        let red = run_traces(&tiny_cfg(Mechanism::Redhip), vec![stream(1), stream(2)]);
+        assert!(red.prediction.bypasses > 0, "no bypasses happened");
+        assert!(
+            red.energy.total_dynamic_j() < base.energy.total_dynamic_j(),
+            "ReDHiP {} !< Base {}",
+            red.energy.total_dynamic_j(),
+            base.energy.total_dynamic_j()
+        );
+        assert!(red.prediction.recalibrations > 0);
+    }
+
+    #[test]
+    fn oracle_is_at_least_as_good_as_redhip_on_dynamic_energy() {
+        let red = run_traces(&tiny_cfg(Mechanism::Redhip), vec![stream(1), stream(2)]);
+        let ora = run_traces(&tiny_cfg(Mechanism::Oracle), vec![stream(1), stream(2)]);
+        assert!(ora.energy.total_dynamic_j() <= red.energy.total_dynamic_j() * 1.001);
+        assert!(ora.cycles <= red.cycles);
+        assert_eq!(ora.prediction.false_positives, 0);
+    }
+
+    #[test]
+    fn phased_saves_energy_but_costs_cycles() {
+        let base = run_traces(&tiny_cfg(Mechanism::Base), vec![stream(1), stream(2)]);
+        let ph = run_traces(&tiny_cfg(Mechanism::Phased), vec![stream(1), stream(2)]);
+        assert!(ph.energy.total_dynamic_j() < base.energy.total_dynamic_j());
+        assert!(ph.cycles >= base.cycles);
+    }
+
+    #[test]
+    fn duplicated_runs_give_every_core_work() {
+        let cfg = tiny_cfg(Mechanism::Base);
+        let r = run_duplicated(&cfg, |c| stream(c as u64));
+        assert_eq!(r.refs_per_core, vec![40_000, 40_000]);
+    }
+
+    #[test]
+    fn early_ending_trace_is_tolerated() {
+        let cfg = tiny_cfg(Mechanism::Base);
+        let short: CoreTrace = Box::new(
+            (0..100u64).map(|i| TraceRecord::load(0x400, i * 64)),
+        );
+        let r = run_traces(&cfg, vec![short, stream(2)]);
+        assert_eq!(r.refs_per_core[0], 100);
+        assert_eq!(r.refs_per_core[1], 40_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_trace_count_panics() {
+        let cfg = tiny_cfg(Mechanism::Base);
+        let _ = run_traces(&cfg, vec![stream(1)]);
+    }
+}

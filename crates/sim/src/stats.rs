@@ -1,0 +1,111 @@
+//! Prediction and prefetch statistics.
+
+use serde::Serialize;
+
+/// Outcome counters for the presence predictor.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PredictionStats {
+    /// Predictor consultations (one per L1 miss).
+    pub lookups: u64,
+    /// Predicted-absent results → lower hierarchy bypassed. By the
+    /// no-false-negative invariant, all of these are correct.
+    pub bypasses: u64,
+    /// Predicted-maybe-present where the walk hit on chip (useful
+    /// conservatism — a correct "present").
+    pub walk_hits: u64,
+    /// Predicted-maybe-present where the walk missed everywhere — the
+    /// false positives that waste lookup energy.
+    pub false_positives: u64,
+    /// Predictor update events (fills and, for CBF, evictions).
+    pub updates: u64,
+    /// Completed recalibrations.
+    pub recalibrations: u64,
+}
+
+impl PredictionStats {
+    /// Fraction of true LLC misses the predictor caught (its "coverage").
+    /// True misses = bypasses + false positives.
+    pub fn miss_coverage(&self) -> f64 {
+        let misses = self.bypasses + self.false_positives;
+        if misses == 0 {
+            0.0
+        } else {
+            self.bypasses as f64 / misses as f64
+        }
+    }
+
+    /// Fraction of predictions that were exactly right.
+    pub fn accuracy(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        (self.bypasses + self.walk_hits) as f64 / self.lookups as f64
+    }
+}
+
+/// Outcome counters for the stride prefetcher.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PrefetchSummary {
+    /// Candidate addresses produced by the RPT.
+    pub issued: u64,
+    /// Prefetches that actually brought a new block on chip.
+    pub fills: u64,
+    /// Candidates already resident somewhere (wasted probe energy only).
+    pub already_resident: u64,
+    /// Prefetch candidates the predictor filtered to a direct memory fetch
+    /// (the ReDHiP+SP synergy of §V-C).
+    pub predictor_filtered: u64,
+    /// Demand accesses that hit a prefetched block before its eviction.
+    pub useful: u64,
+}
+
+impl PrefetchSummary {
+    /// Useful-prefetch fraction (of blocks actually filled).
+    pub fn usefulness(&self) -> f64 {
+        if self.fills == 0 {
+            0.0
+        } else {
+            self.useful as f64 / self.fills as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_and_accuracy() {
+        let s = PredictionStats {
+            lookups: 100,
+            bypasses: 40,
+            walk_hits: 50,
+            false_positives: 10,
+            updates: 0,
+            recalibrations: 2,
+        };
+        assert!((s.miss_coverage() - 0.8).abs() < 1e-12);
+        assert!((s.accuracy() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = PredictionStats::default();
+        assert_eq!(s.miss_coverage(), 0.0);
+        assert_eq!(s.accuracy(), 0.0);
+        let p = PrefetchSummary::default();
+        assert_eq!(p.usefulness(), 0.0);
+    }
+
+    #[test]
+    fn prefetch_usefulness() {
+        let p = PrefetchSummary {
+            issued: 100,
+            fills: 50,
+            already_resident: 50,
+            predictor_filtered: 10,
+            useful: 40,
+        };
+        assert!((p.usefulness() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! The §V-C experiment in miniature: stride prefetching and ReDHiP are
+//! complementary — prefetching accelerates the predictable streams, ReDHiP
+//! cheapens the unpredictable misses, and ReDHiP also filters the
+//! prefetcher's own wasted lookups.
+//!
+//! ```sh
+//! cargo run --release --example prefetch_synergy
+//! ```
+
+use redhip_repro::prelude::*;
+
+fn run(mechanism: Mechanism, prefetch: bool, refs: usize) -> RunResult {
+    let mut cfg = SimConfig::new(demo_scale(), mechanism);
+    cfg.refs_per_core = refs;
+    cfg.avg_cpi = Benchmark::Bwaves.avg_cpi();
+    if prefetch {
+        cfg.prefetch = Some(StrideConfig::default());
+    }
+    let traces = (0..cfg.platform.cores)
+        .map(|core| Benchmark::Bwaves.trace(core, Scale::Demo))
+        .collect();
+    run_traces(&cfg, traces)
+}
+
+fn main() {
+    let refs = 150_000;
+    println!("bwaves (stride-friendly CFD), 8 cores, {refs} refs/core\n");
+
+    let base = run(Mechanism::Base, false, refs);
+    let configs = [
+        ("SP only", Mechanism::Base, true),
+        ("ReDHiP only", Mechanism::Redhip, false),
+        ("SP+ReDHiP", Mechanism::Redhip, true),
+    ];
+
+    println!(
+        "{:<12} {:>9} {:>11} {:>9} {:>10} {:>10}",
+        "config", "speedup", "dyn energy", "issued", "useful", "filtered"
+    );
+    for (name, mech, pf) in configs {
+        let r = run(mech, pf, refs);
+        let c = Comparison::new(&base, &r);
+        println!(
+            "{:<12} {:>8.1}% {:>11.3} {:>9} {:>10} {:>10}",
+            name,
+            c.speedup() * 100.0,
+            c.dynamic_ratio(),
+            r.prefetch.issued,
+            r.prefetch.useful,
+            r.prefetch.predictor_filtered,
+        );
+    }
+    println!(
+        "\nthe paper's reading: prefetching buys latency at an energy premium; ReDHiP\n\
+         recovers the premium by bypassing the hierarchy for prefetches (and demand\n\
+         misses) that would find nothing on chip — 'filtered' counts those."
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run one workload under Base and ReDHiP and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use redhip_repro::prelude::*;
+
+fn run(mechanism: Mechanism, refs: usize) -> RunResult {
+    // The demo-scale platform: Table I with L3/L4/PT shrunk 8× so this
+    // example finishes in seconds (see energy_model::presets).
+    let mut cfg = SimConfig::new(demo_scale(), mechanism);
+    cfg.refs_per_core = refs;
+    cfg.avg_cpi = Benchmark::Mcf.avg_cpi();
+    let traces = (0..cfg.platform.cores)
+        .map(|core| Benchmark::Mcf.trace(core, Scale::Demo))
+        .collect();
+    run_traces(&cfg, traces)
+}
+
+fn main() {
+    let refs = 200_000;
+    println!("simulating mcf on 8 cores, {refs} references/core ...");
+
+    let base = run(Mechanism::Base, refs);
+    let redhip = run(Mechanism::Redhip, refs);
+    let c = Comparison::new(&base, &redhip);
+
+    println!("\n--- Base ---");
+    println!("cycles: {}", base.cycles);
+    for lvl in 0..4 {
+        println!("L{} hit rate: {:.1}%", lvl + 1, base.hit_rate(lvl) * 100.0);
+    }
+    println!("dynamic energy: {:.3} mJ", base.energy.total_dynamic_j() * 1e3);
+
+    println!("\n--- ReDHiP ---");
+    println!("cycles: {}", redhip.cycles);
+    println!(
+        "predictor: {} lookups, {} bypasses ({:.1}% of true LLC misses caught), {} recalibrations",
+        redhip.prediction.lookups,
+        redhip.prediction.bypasses,
+        redhip.prediction.miss_coverage() * 100.0,
+        redhip.prediction.recalibrations,
+    );
+    println!(
+        "dynamic energy: {:.3} mJ",
+        redhip.energy.total_dynamic_j() * 1e3
+    );
+
+    println!("\n--- ReDHiP vs Base ---");
+    println!("speedup:              {:+.1}%", c.speedup() * 100.0);
+    println!("dynamic energy saved: {:+.1}%", c.dynamic_saving() * 100.0);
+    println!("total energy saved:   {:+.1}%", c.total_saving() * 100.0);
+    println!("perf-energy metric:   {:.3}", c.perf_energy_metric());
+}

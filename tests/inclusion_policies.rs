@@ -1,0 +1,102 @@
+//! Inclusion-policy behaviour across crates: drive the full `System` on
+//! real workload traces under all three policies and verify the structural
+//! invariants and the §III-C predictions.
+
+use redhip_repro::prelude::*;
+use redhip_repro::sim::System;
+
+fn drive_system(mechanism: Mechanism, policy: InclusionPolicy, steps: usize) -> System {
+    let mut cfg = SimConfig::new(demo_scale(), mechanism);
+    cfg.policy = policy;
+    cfg.refs_per_core = steps;
+    cfg.recalib_period = Some(4_096);
+    let mut system = System::new(cfg);
+    let mut traces: Vec<_> = (0..8)
+        .map(|c| Benchmark::Soplex.trace(c, Scale::Smoke))
+        .collect();
+    for step in 0..steps * 8 {
+        let core = step % 8;
+        let mut rec = traces[core].next().expect("infinite");
+        rec.addr |= (core as u64) << 44;
+        system.step(core, &rec);
+    }
+    system
+}
+
+#[test]
+fn inclusive_invariant_holds_under_redhip() {
+    let s = drive_system(Mechanism::Redhip, InclusionPolicy::Inclusive, 8_000);
+    s.hierarchy().check_invariants().expect("inclusive");
+    assert!(s.prediction_stats().bypasses > 0);
+}
+
+#[test]
+fn hybrid_invariant_holds_under_redhip() {
+    let s = drive_system(Mechanism::Redhip, InclusionPolicy::Hybrid, 8_000);
+    s.hierarchy().check_invariants().expect("hybrid");
+    // Hybrid keeps the single-LLC-table design unchanged (§III-C).
+    assert!(s.prediction_stats().bypasses > 0);
+}
+
+#[test]
+fn exclusive_invariant_holds_under_multi_table_redhip() {
+    let s = drive_system(Mechanism::Redhip, InclusionPolicy::Exclusive, 8_000);
+    s.hierarchy().check_invariants().expect("exclusive");
+    // The per-level tables fire too (skipped levels or full bypasses).
+    let p = s.prediction_stats();
+    assert!(p.lookups > 0);
+    assert!(p.bypasses + p.walk_hits + p.false_positives == p.lookups);
+}
+
+#[test]
+fn exclusive_holds_more_distinct_data_than_inclusive() {
+    // The §V-B3 observation: exclusivity increases effective capacity.
+    let inc = drive_system(Mechanism::Base, InclusionPolicy::Inclusive, 8_000);
+    let exc = drive_system(Mechanism::Base, InclusionPolicy::Exclusive, 8_000);
+    let distinct = |s: &System| {
+        let h = s.hierarchy();
+        let mut blocks = std::collections::HashSet::new();
+        for core in 0..h.cores() {
+            for lvl in 0..h.levels() - 1 {
+                blocks.extend(h.private_cache(core, lvl).resident_blocks());
+            }
+        }
+        blocks.extend(h.llc().resident_blocks());
+        blocks.len()
+    };
+    assert!(
+        distinct(&exc) > distinct(&inc),
+        "exclusive {} !> inclusive {}",
+        distinct(&exc),
+        distinct(&inc)
+    );
+}
+
+#[test]
+fn all_base_policies_preserve_invariants_on_every_workload() {
+    for benchmark in Benchmark::ALL {
+        for policy in [
+            InclusionPolicy::Inclusive,
+            InclusionPolicy::Exclusive,
+            InclusionPolicy::Hybrid,
+        ] {
+            let mut cfg = SimConfig::new(demo_scale(), Mechanism::Base);
+            cfg.policy = policy;
+            cfg.refs_per_core = 2_000;
+            let mut system = System::new(cfg);
+            let mut traces: Vec<_> = (0..8)
+                .map(|c| benchmark.trace(c, Scale::Smoke))
+                .collect();
+            for step in 0..16_000 {
+                let core = step % 8;
+                let mut rec = traces[core].next().expect("infinite");
+                rec.addr |= (core as u64) << 44;
+                system.step(core, &rec);
+            }
+            system
+                .hierarchy()
+                .check_invariants()
+                .unwrap_or_else(|e| panic!("{benchmark} / {policy:?}: {e}"));
+        }
+    }
+}
