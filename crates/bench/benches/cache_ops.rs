@@ -1,15 +1,14 @@
 //! Microbenchmarks of the cache substrate: single-array operations and
 //! full hierarchy traversals under each inclusion policy.
 
+use bench::micro::Group;
 use cache_sim::{
     Cache, CacheConfig, DeepHierarchy, HierarchyConfig, InclusionPolicy, ReplacementPolicy,
     Traversal,
 };
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
-fn single_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1));
+fn single_cache() {
+    let g = Group::new("cache", 1);
     for policy in [
         ReplacementPolicy::Lru,
         ReplacementPolicy::TreePlru,
@@ -25,27 +24,21 @@ fn single_cache(c: &mut Criterion) {
         for b in 0..4096u64 {
             cache.fill(b, false);
         }
-        g.bench_function(format!("{policy:?}_hit"), |b| {
-            let mut x = 0u64;
-            b.iter(|| {
-                x = (x + 1) % 4096;
-                black_box(cache.access(x, false))
-            })
+        let mut x = 0u64;
+        g.bench(&format!("{policy:?}_hit"), || {
+            x = (x + 1) % 4096;
+            cache.access(x, false)
         });
-        g.bench_function(format!("{policy:?}_fill_evict"), |b| {
-            let mut x = 1u64 << 32;
-            b.iter(|| {
-                x += 1;
-                black_box(cache.fill(x, false))
-            })
+        let mut y = 1u64 << 32;
+        g.bench(&format!("{policy:?}_fill_evict"), || {
+            y += 1;
+            cache.fill(y, false)
         });
     }
-    g.finish();
 }
 
-fn hierarchy_walks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hierarchy");
-    g.throughput(Throughput::Elements(1));
+fn hierarchy_walks() {
+    let g = Group::new("hierarchy", 1);
     for policy in [
         InclusionPolicy::Inclusive,
         InclusionPolicy::Exclusive,
@@ -63,35 +56,38 @@ fn hierarchy_walks(c: &mut Criterion) {
         };
         let mut h = DeepHierarchy::new(&cfg);
         let mut t = Traversal::new();
-        g.bench_function(format!("{policy:?}_demand_mixed"), |b| {
-            let mut x = 0x9e37_79b9u64;
-            b.iter(|| {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                // 75% hot (32 KB), 25% cold sweep.
-                let block = if !x.is_multiple_of(4) { x % 512 } else { (1 << 24) + (x >> 40) };
-                let core = (x % 2) as usize;
-                t.clear();
-                if !h.access_first(core, block, false, &mut t) {
-                    let mut hit = false;
-                    for lvl in 1..h.levels() {
-                        if h.lookup(core, lvl, block, &mut t) {
-                            h.promote(core, lvl, block, false, &mut t);
-                            hit = true;
-                            break;
-                        }
-                    }
-                    if !hit {
-                        h.fill_from_memory(core, block, false, &mut t);
+        let mut x = 0x9e37_79b9u64;
+        g.bench(&format!("{policy:?}_demand_mixed"), || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // 75% hot (32 KB), 25% cold sweep.
+            let block = if !x.is_multiple_of(4) {
+                x % 512
+            } else {
+                (1 << 24) + (x >> 40)
+            };
+            let core = (x % 2) as usize;
+            t.clear();
+            if !h.access_first(core, block, false, &mut t) {
+                let mut hit = false;
+                for lvl in 1..h.levels() {
+                    if h.lookup(core, lvl, block, &mut t) {
+                        h.promote(core, lvl, block, false, &mut t);
+                        hit = true;
+                        break;
                     }
                 }
-                black_box(t.hit_level)
-            })
+                if !hit {
+                    h.fill_from_memory(core, block, false, &mut t);
+                }
+            }
+            t.hit_level
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, single_cache, hierarchy_walks);
-criterion_main!(benches);
+fn main() {
+    single_cache();
+    hierarchy_walks();
+}

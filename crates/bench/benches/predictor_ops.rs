@@ -2,61 +2,48 @@
 //! simulator's hottest path (one prediction per L1 miss, one update per
 //! LLC fill) plus the full-table recalibration rebuild.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use bench::micro::Group;
 use redhip::{
-    BitsHash, CbfConfig, CountingBloomFilter, ExactCountingTable, PredictionTable, PresencePredictor,
-    XorHash,
+    BitsHash, CbfConfig, CountingBloomFilter, ExactCountingTable, PredictionTable,
+    PresencePredictor, XorHash,
 };
 
-fn hash_functions(c: &mut Criterion) {
+fn hash_functions() {
     let bits = BitsHash::new(19);
     let xor = XorHash::new(19, 0);
-    let mut g = c.benchmark_group("hash");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("bits_hash", |b| {
-        let mut x = 0x1234_5678u64;
-        b.iter(|| {
-            x = x.wrapping_mul(0x9e37_79b9).wrapping_add(1);
-            black_box(bits.index(x))
-        })
+    let g = Group::new("hash", 1);
+    let mut x = 0x1234_5678u64;
+    g.bench("bits_hash", || {
+        x = x.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+        bits.index(x)
     });
-    g.bench_function("xor_hash", |b| {
-        let mut x = 0x1234_5678u64;
-        b.iter(|| {
-            x = x.wrapping_mul(0x9e37_79b9).wrapping_add(1);
-            black_box(xor.index(x))
-        })
+    let mut x = 0x1234_5678u64;
+    g.bench("xor_hash", || {
+        x = x.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+        xor.index(x)
     });
-    g.finish();
 }
 
-fn prediction_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prediction_table");
-    g.throughput(Throughput::Elements(1));
+fn prediction_table() {
+    let g = Group::new("prediction_table", 1);
     let mut table = PredictionTable::from_capacity_bytes(64 << 10);
     for b in 0..100_000u64 {
         table.on_fill(b * 7);
     }
-    g.bench_function("predict", |b| {
-        let mut x = 1u64;
-        b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            black_box(table.predict(x >> 20))
-        })
+    let mut x = 1u64;
+    g.bench("predict", || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        table.predict(x >> 20)
     });
-    g.bench_function("on_fill", |b| {
-        let mut x = 1u64;
-        b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            table.on_fill(x >> 20);
-        })
+    let mut x = 1u64;
+    g.bench("on_fill", || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        table.on_fill(x >> 20);
     });
-    g.finish();
 }
 
-fn cbf_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cbf");
-    g.throughput(Throughput::Elements(1));
+fn cbf_ops() {
+    let g = Group::new("cbf", 1);
     for hashes in [1u32, 2] {
         let mut cbf = CountingBloomFilter::new(CbfConfig {
             index_bits: 17,
@@ -66,64 +53,49 @@ fn cbf_ops(c: &mut Criterion) {
         for b in 0..50_000u64 {
             cbf.on_fill(b * 3);
         }
-        g.bench_function(format!("predict_h{hashes}"), |b| {
-            let mut x = 1u64;
-            b.iter(|| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                black_box(cbf.predict(x >> 20))
-            })
-        });
-        g.bench_function(format!("fill_evict_h{hashes}"), |b| {
-            let mut x = 1u64;
-            b.iter(|| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let blk = x >> 20;
-                cbf.on_fill(blk);
-                cbf.on_evict(blk);
-            })
-        });
-    }
-    g.finish();
-}
-
-fn exact_counting(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exact_counting");
-    g.throughput(Throughput::Elements(1));
-    let mut t = ExactCountingTable::from_capacity_bytes(64 << 10);
-    g.bench_function("fill_evict", |b| {
         let mut x = 1u64;
-        b.iter(|| {
+        g.bench(&format!("predict_h{hashes}"), || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            cbf.predict(x >> 20)
+        });
+        let mut x = 1u64;
+        g.bench(&format!("fill_evict_h{hashes}"), || {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let blk = x >> 20;
-            t.on_fill(blk);
-            t.on_evict(blk);
-        })
-    });
-    g.finish();
+            cbf.on_fill(blk);
+            cbf.on_evict(blk);
+        });
+    }
 }
 
-fn recalibration(c: &mut Criterion) {
+fn exact_counting() {
+    let g = Group::new("exact_counting", 1);
+    let mut t = ExactCountingTable::from_capacity_bytes(64 << 10);
+    let mut x = 1u64;
+    g.bench("fill_evict", || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let blk = x >> 20;
+        t.on_fill(blk);
+        t.on_evict(blk);
+    });
+}
+
+fn recalibration() {
     // Functional rebuild of the demo-scale table from a full 8 MB LLC's
     // resident set (131072 lines).
     let resident: Vec<u64> = (0..131_072u64).map(|i| i * 37 + 5).collect();
-    let mut g = c.benchmark_group("recalibration");
-    g.throughput(Throughput::Elements(resident.len() as u64));
-    g.bench_function("rebuild_64k_table_from_128k_lines", |b| {
-        b.iter_batched(
-            || PredictionTable::from_capacity_bytes(64 << 10),
-            |mut t| t.recalibrate_from(resident.iter().copied()),
-            BatchSize::LargeInput,
-        )
-    });
-    g.finish();
+    let g = Group::new("recalibration", resident.len() as u64);
+    g.bench_with_setup(
+        "rebuild_64k_table_from_128k_lines",
+        || PredictionTable::from_capacity_bytes(64 << 10),
+        |mut t| t.recalibrate_from(resident.iter().copied()),
+    );
 }
 
-criterion_group!(
-    benches,
-    hash_functions,
-    prediction_table,
-    cbf_ops,
-    exact_counting,
-    recalibration
-);
-criterion_main!(benches);
+fn main() {
+    hash_functions();
+    prediction_table();
+    cbf_ops();
+    exact_counting();
+    recalibration();
+}

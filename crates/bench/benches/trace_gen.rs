@@ -1,28 +1,21 @@
 //! Throughput of every workload generator — trace generation must stay far
 //! cheaper than simulation so the figure harness is simulator-bound.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use bench::micro::Group;
 use workloads::{Benchmark, Scale};
 
-fn generators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_gen");
-    g.throughput(Throughput::Elements(10_000));
+fn main() {
+    let g = Group::new("trace_gen", 10_000);
     for bench in Benchmark::ALL {
-        g.bench_function(bench.name(), |b| {
-            // Construction cost (graph building etc.) is paid once outside
-            // the timed loop, as the simulator does.
-            let mut stream = bench.trace(0, Scale::Smoke);
-            b.iter(|| {
-                let mut acc = 0u64;
-                for _ in 0..10_000 {
-                    acc ^= stream.next().expect("infinite").addr;
-                }
-                black_box(acc)
-            })
+        // Construction cost (graph building etc.) is paid once outside
+        // the timed loop, as the simulator does.
+        let mut stream = bench.trace(0, Scale::Smoke);
+        g.bench(bench.name(), || {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc ^= stream.next().expect("infinite").addr;
+            }
+            acc
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, generators);
-criterion_main!(benches);

@@ -5,9 +5,9 @@
 //! representative workload subset.
 
 use crate::figures::{FigureOutput, Settings};
-use crate::harness::{mechanism_config, run_parallel, run_workload};
+use crate::harness::{mechanism_config, run_parallel_hb, run_workload};
 use crate::table::TextTable;
-use serde_json::json;
+use minijson::json;
 use sim::metrics::mean;
 use sim::{Comparison, Mechanism, SimConfig};
 use workloads::Benchmark;
@@ -43,7 +43,7 @@ fn variant_study(
             jobs.push((Some(vi), w));
         }
     }
-    let outs = run_parallel(jobs, |&(variant, w)| {
+    let outs = run_parallel_hb("[figures] ablation-energy", jobs, |&(variant, w)| {
         let cfg = match variant {
             None => cfg_for(s, Mechanism::Base),
             Some(vi) => make_cfg(vi),
@@ -97,7 +97,7 @@ pub fn cbf_counter_width(s: &Settings) -> FigureOutput {
         title: "CBF counter width at fixed budget".into(),
         json: json!({
             "counter_bits": widths,
-            "dynamic_ratio": series,
+            "dynamic_ratio": &series,
             "averages": series.iter().map(|x| mean(x)).collect::<Vec<_>>(),
         }),
         text: format!(
@@ -130,7 +130,7 @@ pub fn recalib_banking(s: &Settings) -> FigureOutput {
         title: "Recalibration banking degree".into(),
         json: json!({
             "banks": banks,
-            "speedup": series,
+            "speedup": &series,
             "averages": series.iter().map(|x| mean(x)).collect::<Vec<_>>(),
         }),
         text: format!(
@@ -166,7 +166,7 @@ pub fn entry_width(s: &Settings) -> FigureOutput {
         title: "1-bit entries vs exact counters".into(),
         json: json!({
             "variants": names,
-            "dynamic_ratio": series,
+            "dynamic_ratio": &series,
             "averages": series.iter().map(|x| mean(x)).collect::<Vec<_>>(),
         }),
         text: format!(
@@ -200,8 +200,15 @@ pub fn accounting(s: &Settings) -> FigureOutput {
             jobs.push((vi, true, w));
         }
     }
-    let outs = run_parallel(jobs, |&(vi, redhip, w)| {
-        let mut cfg = cfg_for(s, if redhip { Mechanism::Redhip } else { Mechanism::Base });
+    let outs = run_parallel_hb("[figures] ablation-accounting", jobs, |&(vi, redhip, w)| {
+        let mut cfg = cfg_for(
+            s,
+            if redhip {
+                Mechanism::Redhip
+            } else {
+                Mechanism::Base
+            },
+        );
         cfg.accounting = make_acc(vi);
         run_workload(&cfg, w, s.scale)
     });
@@ -232,7 +239,7 @@ pub fn accounting(s: &Settings) -> FigureOutput {
         title: "Energy-accounting sensitivity".into(),
         json: json!({
             "variants": names,
-            "dynamic_saving": series,
+            "dynamic_saving": &series,
             "averages": series.iter().map(|x| mean(x)).collect::<Vec<_>>(),
         }),
         text: format!(
@@ -264,11 +271,22 @@ pub fn replacement(s: &Settings) -> FigureOutput {
             jobs.push((vi, true, w));
         }
     }
-    let outs = run_parallel(jobs, |&(vi, redhip, w)| {
-        let mut cfg = cfg_for(s, if redhip { Mechanism::Redhip } else { Mechanism::Base });
-        cfg.replacement = policies[vi];
-        run_workload(&cfg, w, s.scale)
-    });
+    let outs = run_parallel_hb(
+        "[figures] ablation-sensitivity",
+        jobs,
+        |&(vi, redhip, w)| {
+            let mut cfg = cfg_for(
+                s,
+                if redhip {
+                    Mechanism::Redhip
+                } else {
+                    Mechanism::Base
+                },
+            );
+            cfg.replacement = policies[vi];
+            run_workload(&cfg, w, s.scale)
+        },
+    );
     let stride = policies.len() * 2;
     let mut header = vec!["workload".to_string()];
     header.extend(names.iter().cloned());
@@ -296,7 +314,7 @@ pub fn replacement(s: &Settings) -> FigureOutput {
         title: "Replacement-policy robustness".into(),
         json: json!({
             "policies": names,
-            "dynamic_saving": series,
+            "dynamic_saving": &series,
             "averages": series.iter().map(|x| mean(x)).collect::<Vec<_>>(),
         }),
         text: format!(

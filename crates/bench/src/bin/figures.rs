@@ -78,7 +78,7 @@ fn emit(args: &Args, f: &FigureOutput) {
     std::fs::create_dir_all(&args.out).expect("create results dir");
     let path = args.out.join(format!("{}.json", f.name));
     let mut file = std::fs::File::create(&path).expect("create json");
-    file.write_all(serde_json::to_string_pretty(&f.json).expect("json").as_bytes())
+    file.write_all(f.json.pretty().as_bytes())
         .expect("write json");
     eprintln!("[figures] wrote {}", path.display());
 }
@@ -105,10 +105,12 @@ fn main() {
                 name: "fig1",
                 title: "Cache sizes by year".into(),
                 text: figdata::render_figure1(),
-                json: serde_json::json!(figdata::FIGURE1
-                    .iter()
-                    .map(|p| serde_json::json!({"year": p.year, "level": p.level, "kb": p.kb}))
-                    .collect::<Vec<_>>()),
+                json: minijson::Json::Arr(
+                    figdata::FIGURE1
+                        .iter()
+                        .map(|p| minijson::json!({"year": p.year, "level": p.level, "kb": p.kb}))
+                        .collect(),
+                ),
             },
         );
     }
@@ -117,10 +119,6 @@ fn main() {
         .iter()
         .any(|n| wants(&args, n, "core"));
     if need_matrix {
-        eprintln!(
-            "[figures] running the {}x5 mechanism matrix ...",
-            settings.workloads.len()
-        );
         let m = figures::run_matrix(&settings);
         if wants(&args, "fig6", "core") {
             emit(&args, &figures::fig6(&m));
@@ -140,19 +138,15 @@ fn main() {
     }
 
     if wants(&args, "fig11", "sweeps") {
-        eprintln!("[figures] fig11: PT size sweep ...");
         emit(&args, &figures::fig11(&settings));
     }
     if wants(&args, "fig12", "sweeps") {
-        eprintln!("[figures] fig12: recalibration period sweep ...");
         emit(&args, &figures::fig12(&settings));
     }
     if wants(&args, "fig13", "sweeps") {
-        eprintln!("[figures] fig13: inclusion policies ...");
         emit(&args, &figures::fig13(&settings));
     }
     if wants(&args, "fig14", "prefetch") || wants(&args, "fig15", "prefetch") {
-        eprintln!("[figures] fig14/15: prefetch interaction ...");
         let (f14, f15) = figures::fig14_15(&settings);
         if wants(&args, "fig14", "prefetch") {
             emit(&args, &f14);
@@ -162,7 +156,6 @@ fn main() {
         }
     }
     if args.targets.contains("ablations") || args.targets.contains("all") {
-        eprintln!("[figures] ablations ...");
         let mut s = settings.clone();
         s.workloads = ablate::ablation_workloads();
         for f in ablate::all(&s) {

@@ -14,11 +14,17 @@
 //!   --prefetch           enable the stride prefetcher
 //!   --compare            also run Base and print the comparison
 //!   --json FILE          write the RunResult as JSON
+//!   --telemetry FILE     write windowed time-series telemetry as JSONL
+//!                        (window samples + recalibration markers)
+//!   --window N           telemetry window width in refs per core
+//!                        (default 100000)
+//!   --quiet              suppress the stderr heartbeat
 //! ```
 
-use bench::harness::{mechanism_config, run_workload, FigureScale};
+use bench::harness::{mechanism_config, run_workload, run_workload_with, FigureScale};
 use cache_sim::InclusionPolicy;
-use sim::{Comparison, Mechanism};
+use minijson::ToJson;
+use sim::{Comparison, Heartbeat, HeartbeatObserver, Mechanism, RunResult, Tee, WindowedCollector};
 use workloads::Benchmark;
 
 fn usage(msg: &str) -> ! {
@@ -38,15 +44,23 @@ fn main() {
     let mut prefetch = false;
     let mut compare = false;
     let mut json_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
+    let mut window: u64 = 100_000;
+    let mut quiet = false;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut next = |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        let mut next = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
         match a.as_str() {
             "--benchmark" | "-b" => {
                 let v = next("--benchmark");
-                benchmark =
-                    Some(Benchmark::from_name(&v).unwrap_or_else(|| usage(&format!("unknown benchmark {v}"))));
+                benchmark = Some(
+                    Benchmark::from_name(&v)
+                        .unwrap_or_else(|| usage(&format!("unknown benchmark {v}"))),
+                );
             }
             "--mechanism" | "-m" => {
                 mechanism = match next("--mechanism").to_ascii_lowercase().as_str() {
@@ -68,19 +82,42 @@ fn main() {
             }
             "--scale" => {
                 let v = next("--scale");
-                scale = FigureScale::parse(&v).unwrap_or_else(|| usage(&format!("unknown scale {v}")));
+                scale =
+                    FigureScale::parse(&v).unwrap_or_else(|| usage(&format!("unknown scale {v}")));
             }
-            "--refs" => refs = Some(next("--refs").parse().unwrap_or_else(|_| usage("bad --refs"))),
+            "--refs" => {
+                refs = Some(
+                    next("--refs")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --refs")),
+                )
+            }
             "--pt-bytes" => {
-                pt_bytes = Some(next("--pt-bytes").parse().unwrap_or_else(|_| usage("bad --pt-bytes")))
+                pt_bytes = Some(
+                    next("--pt-bytes")
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --pt-bytes")),
+                )
             }
             "--recalib" => {
-                let v: u64 = next("--recalib").parse().unwrap_or_else(|_| usage("bad --recalib"));
+                let v: u64 = next("--recalib")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --recalib"));
                 recalib = Some(if v == 0 { None } else { Some(v) });
             }
             "--prefetch" => prefetch = true,
             "--compare" => compare = true,
             "--json" => json_path = Some(next("--json")),
+            "--telemetry" => telemetry_path = Some(next("--telemetry")),
+            "--window" => {
+                window = next("--window")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --window"));
+                if window == 0 {
+                    usage("--window must be positive");
+                }
+            }
+            "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
                 eprintln!("see the module docs at the top of redhip-sim.rs");
                 std::process::exit(0);
@@ -112,7 +149,31 @@ fn main() {
         scale,
         refs
     );
-    let result = run_workload(&cfg, benchmark, scale);
+
+    let total_refs = (refs * cfg.platform.cores) as u64;
+    let heartbeat = || {
+        let h = Heartbeat::new("[redhip-sim]", "refs", total_refs);
+        HeartbeatObserver::new(if quiet { h.silent() } else { h })
+    };
+
+    // Telemetry wants a collector; the heartbeat rides along either way.
+    let result: RunResult = if let Some(path) = &telemetry_path {
+        let collector = WindowedCollector::new(window, cfg.platform.levels.len());
+        let obs = Tee::new(collector, heartbeat());
+        let (result, obs) = run_workload_with(&cfg, benchmark, scale, obs);
+        std::fs::write(path, obs.a.to_jsonl()).expect("write telemetry");
+        eprintln!(
+            "[redhip-sim] wrote {path} ({} windows, {} recalibration markers)",
+            obs.a.windows().count(),
+            obs.a.recalibrations().count()
+        );
+        result
+    } else if quiet {
+        run_workload(&cfg, benchmark, scale)
+    } else {
+        run_workload_with(&cfg, benchmark, scale, heartbeat()).0
+    };
+
     println!("=== {} under {} ===", benchmark, mechanism.name());
     print!("{}", sim::report::render(&result));
 
@@ -130,8 +191,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&result).expect("serialize");
-        std::fs::write(&path, json).expect("write json");
+        std::fs::write(&path, result.to_json().pretty()).expect("write json");
         eprintln!("[redhip-sim] wrote {path}");
     }
 }

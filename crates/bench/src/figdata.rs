@@ -16,29 +16,88 @@ pub struct CachePoint {
 /// 1987–2012): L1 from a few KB to tens of KB; L2 appearing in the early
 /// 90s; L3 in the early 2000s; L4 (eDRAM-class) arriving around 2012.
 pub const FIGURE1: &[CachePoint] = &[
-    CachePoint { year: 1987, level: 1, kb: 4 },
-    CachePoint { year: 1992, level: 1, kb: 8 },
-    CachePoint { year: 1997, level: 1, kb: 16 },
-    CachePoint { year: 2002, level: 1, kb: 32 },
-    CachePoint { year: 2007, level: 1, kb: 32 },
-    CachePoint { year: 2012, level: 1, kb: 64 },
-    CachePoint { year: 1992, level: 2, kb: 256 },
-    CachePoint { year: 1997, level: 2, kb: 512 },
-    CachePoint { year: 2002, level: 2, kb: 512 },
-    CachePoint { year: 2007, level: 2, kb: 1024 },
-    CachePoint { year: 2012, level: 2, kb: 256 },
-    CachePoint { year: 2002, level: 3, kb: 2048 },
-    CachePoint { year: 2007, level: 3, kb: 8192 },
-    CachePoint { year: 2012, level: 3, kb: 16384 },
-    CachePoint { year: 2012, level: 4, kb: 65536 },
+    CachePoint {
+        year: 1987,
+        level: 1,
+        kb: 4,
+    },
+    CachePoint {
+        year: 1992,
+        level: 1,
+        kb: 8,
+    },
+    CachePoint {
+        year: 1997,
+        level: 1,
+        kb: 16,
+    },
+    CachePoint {
+        year: 2002,
+        level: 1,
+        kb: 32,
+    },
+    CachePoint {
+        year: 2007,
+        level: 1,
+        kb: 32,
+    },
+    CachePoint {
+        year: 2012,
+        level: 1,
+        kb: 64,
+    },
+    CachePoint {
+        year: 1992,
+        level: 2,
+        kb: 256,
+    },
+    CachePoint {
+        year: 1997,
+        level: 2,
+        kb: 512,
+    },
+    CachePoint {
+        year: 2002,
+        level: 2,
+        kb: 512,
+    },
+    CachePoint {
+        year: 2007,
+        level: 2,
+        kb: 1024,
+    },
+    CachePoint {
+        year: 2012,
+        level: 2,
+        kb: 256,
+    },
+    CachePoint {
+        year: 2002,
+        level: 3,
+        kb: 2048,
+    },
+    CachePoint {
+        year: 2007,
+        level: 3,
+        kb: 8192,
+    },
+    CachePoint {
+        year: 2012,
+        level: 3,
+        kb: 16384,
+    },
+    CachePoint {
+        year: 2012,
+        level: 4,
+        kb: 65536,
+    },
 ];
 
 /// Renders Figure 1 as a text table (rows = level, columns = year).
 pub fn render_figure1() -> String {
     let years = [1987u32, 1992, 1997, 2002, 2007, 2012];
-    let mut out = String::from(
-        "Figure 1: cache sizes (KB) by level and approximate year of appearance\n",
-    );
+    let mut out =
+        String::from("Figure 1: cache sizes (KB) by level and approximate year of appearance\n");
     out.push_str("level ");
     for y in years {
         out.push_str(&format!("{y:>8}"));
@@ -68,7 +127,11 @@ mod tests {
             let mut last = 0;
             for level in 1..=4u8 {
                 if let Some(p) = FIGURE1.iter().find(|p| p.level == level && p.year == year) {
-                    assert!(p.kb > last, "L{level} in {year} not larger than L{}", level - 1);
+                    assert!(
+                        p.kb > last,
+                        "L{level} in {year} not larger than L{}",
+                        level - 1
+                    );
                     last = p.kb;
                 }
             }

@@ -5,11 +5,11 @@
 //! results directory), and the paper's reference numbers for the same
 //! artifact so EXPERIMENTS.md can record paper-vs-measured side by side.
 
-use crate::harness::{mechanism_config, run_parallel, run_workload, FigureScale};
+use crate::harness::{mechanism_config, run_parallel_hb, run_workload, FigureScale};
 use crate::table::TextTable;
 use cache_sim::InclusionPolicy;
+use minijson::{json, Json, ToJson};
 use prefetch::StrideConfig;
-use serde_json::{json, Value};
 use sim::metrics::mean;
 use sim::{Comparison, Mechanism, RunResult, SimConfig};
 use workloads::Benchmark;
@@ -54,7 +54,7 @@ pub struct FigureOutput {
     /// Rendered text.
     pub text: String,
     /// Structured results.
-    pub json: Value,
+    pub json: Json,
 }
 
 fn cfg_for(s: &Settings, mechanism: Mechanism) -> SimConfig {
@@ -82,7 +82,7 @@ pub fn run_matrix(s: &Settings) -> Matrix {
             jobs.push((Some(m), w));
         }
     }
-    let outs = run_parallel(jobs, |&(mech, w)| {
+    let outs = run_parallel_hb("[figures] matrix", jobs, |&(mech, w)| {
         let cfg = cfg_for(s, mech.unwrap_or(Mechanism::Base));
         run_workload(&cfg, w, s.scale)
     });
@@ -129,12 +129,12 @@ fn series_table(
     (t, series)
 }
 
-fn matrix_json(m: &Matrix, series: &[Vec<f64>], metric: &str) -> Value {
+fn matrix_json(m: &Matrix, series: &[Vec<f64>], metric: &str) -> Json {
     json!({
         "metric": metric,
         "workloads": m.settings.workloads.iter().map(|w| w.name()).collect::<Vec<_>>(),
         "mechanisms": COMPARED.iter().map(|x| x.name()).collect::<Vec<_>>(),
-        "values": series,
+        "values": series.to_vec(),
         "averages": series.iter().map(|s| mean(s)).collect::<Vec<_>>(),
     })
 }
@@ -143,11 +143,26 @@ fn matrix_json(m: &Matrix, series: &[Vec<f64>], metric: &str) -> Value {
 pub fn table1(scale: FigureScale) -> FigureOutput {
     let p = scale.platform();
     let mut t = TextTable::new(&[
-        "structure", "size", "assoc", "tag cyc", "data cyc", "tag nJ", "data nJ", "leak W",
+        "structure",
+        "size",
+        "assoc",
+        "tag cyc",
+        "data cyc",
+        "tag nJ",
+        "data nJ",
+        "leak W",
     ]);
     for (i, l) in p.levels.iter().enumerate() {
         t.row(vec![
-            format!("L{}{}", i + 1, if i + 1 == p.levels.len() { " (shared)" } else { "" }),
+            format!(
+                "L{}{}",
+                i + 1,
+                if i + 1 == p.levels.len() {
+                    " (shared)"
+                } else {
+                    ""
+                }
+            ),
             format!("{}K", l.capacity_bytes >> 10),
             l.assoc.to_string(),
             l.tag_delay.to_string(),
@@ -178,7 +193,7 @@ pub fn table1(scale: FigureScale) -> FigureOutput {
     FigureOutput {
         name: "table1",
         title: "Architecture parameters".into(),
-        json: serde_json::to_value(&p).expect("spec serializes"),
+        json: p.to_json(),
         text,
     }
 }
@@ -195,7 +210,7 @@ pub fn fig6(m: &Matrix) -> FigureOutput {
         title: "Speedup vs Base".into(),
         json: json!({
             "measured": matrix_json(m, &series, "speedup"),
-            "paper_averages": {"Oracle": 0.13, "CBF": 0.04, "Phased": -0.03, "ReDHiP": 0.08},
+            "paper_averages": json!({"Oracle": 0.13, "CBF": 0.04, "Phased": -0.03, "ReDHiP": 0.08}),
         }),
         text,
     }
@@ -213,7 +228,7 @@ pub fn fig7(m: &Matrix) -> FigureOutput {
         title: "Normalized dynamic energy".into(),
         json: json!({
             "measured": matrix_json(m, &series, "dynamic_ratio"),
-            "paper_averages": {"Oracle": 0.29, "CBF": 0.82, "Phased": 0.45, "ReDHiP": 0.39},
+            "paper_averages": json!({"Oracle": 0.29, "CBF": 0.82, "Phased": 0.45, "ReDHiP": 0.39}),
         }),
         text,
     }
@@ -266,7 +281,7 @@ fn hit_rate_figure(
         title: title.into(),
         json: json!({
             "workloads": workloads.iter().map(|w| w.name()).collect::<Vec<_>>(),
-            "hit_rates_per_level": per_level,
+            "hit_rates_per_level": &per_level,
             "averages": per_level.iter().map(|l| mean(l)).collect::<Vec<_>>(),
         }),
         text: format!("{title}\n{}\n{paper_note}\n", t.render()),
@@ -316,8 +331,9 @@ pub fn fig10(m: &Matrix) -> FigureOutput {
         deltas[1] * 100.0,
         deltas[2] * 100.0
     ));
-    out.json["improvement_vs_base_pp"] = json!(deltas);
-    out.json["paper_improvement_pp"] = json!([0.14, 0.12, 0.18]);
+    out.json.set("improvement_vs_base_pp", json!(deltas));
+    out.json
+        .set("paper_improvement_pp", json!([0.14, 0.12, 0.18]));
     out
 }
 
@@ -339,7 +355,7 @@ pub fn fig11(s: &Settings) -> FigureOutput {
             jobs.push((Some(sz), w));
         }
     }
-    let outs = run_parallel(jobs, |&(size, w)| {
+    let outs = run_parallel_hb("[figures] fig11", jobs, |&(size, w)| {
         let mut cfg = cfg_for(
             s,
             if size.is_some() {
@@ -384,7 +400,7 @@ pub fn fig11(s: &Settings) -> FigureOutput {
         json: json!({
             "sizes_bytes": sizes,
             "workloads": s.workloads.iter().map(|w| w.name()).collect::<Vec<_>>(),
-            "dynamic_ratio": series,
+            "dynamic_ratio": &series,
             "averages": series.iter().map(|x| mean(x)).collect::<Vec<_>>(),
             "paper_note": "gain marginal beyond the default size; the smallest table is nearly useless",
         }),
@@ -416,7 +432,7 @@ pub fn fig12(s: &Settings) -> FigureOutput {
             jobs.push((Some(p), w));
         }
     }
-    let outs = run_parallel(jobs, |&(period, w)| {
+    let outs = run_parallel_hb("[figures] fig12", jobs, |&(period, w)| {
         let mut cfg = cfg_for(
             s,
             if period.is_some() {
@@ -467,7 +483,7 @@ pub fn fig12(s: &Settings) -> FigureOutput {
         json: json!({
             "periods_l1_misses": labels,
             "workloads": s.workloads.iter().map(|w| w.name()).collect::<Vec<_>>(),
-            "dynamic_ratio": series,
+            "dynamic_ratio": &series,
             "averages": series.iter().map(|x| mean(x)).collect::<Vec<_>>(),
             "paper_note": "little gain from recalibrating more often than the default period; precipitous accuracy loss at ~100x the default and beyond",
         }),
@@ -493,7 +509,7 @@ pub fn fig13(s: &Settings) -> FigureOutput {
             jobs.push((p, Mechanism::Redhip, w));
         }
     }
-    let outs = run_parallel(jobs, |&(policy, mech, w)| {
+    let outs = run_parallel_hb("[figures] fig13", jobs, |&(policy, mech, w)| {
         let mut cfg = cfg_for(s, mech);
         cfg.policy = policy;
         run_workload(&cfg, w, s.scale)
@@ -524,7 +540,7 @@ pub fn fig13(s: &Settings) -> FigureOutput {
         json: json!({
             "policies": ["Inclusive", "Hybrid", "Exclusive"],
             "workloads": s.workloads.iter().map(|w| w.name()).collect::<Vec<_>>(),
-            "dynamic_saving": series,
+            "dynamic_saving": &series,
             "averages": series.iter().map(|x| mean(x)).collect::<Vec<_>>(),
             "paper_note": "hybrid ~= inclusive; exclusive ~15 points lower but still >40% better than its base",
         }),
@@ -544,14 +560,19 @@ pub fn fig14_15(s: &Settings) -> (FigureOutput, FigureOutput) {
         RedhipOnly,
         SpRedhip,
     }
-    let configs = [PfCfg::Base, PfCfg::SpOnly, PfCfg::RedhipOnly, PfCfg::SpRedhip];
+    let configs = [
+        PfCfg::Base,
+        PfCfg::SpOnly,
+        PfCfg::RedhipOnly,
+        PfCfg::SpRedhip,
+    ];
     let mut jobs: Vec<(usize, Benchmark)> = Vec::new();
     for &w in &s.workloads {
         for ci in 0..configs.len() {
             jobs.push((ci, w));
         }
     }
-    let outs = run_parallel(jobs, |&(ci, w)| {
+    let outs = run_parallel_hb("[figures] fig14-15", jobs, |&(ci, w)| {
         let mut cfg = match configs[ci] {
             PfCfg::Base | PfCfg::SpOnly => cfg_for(s, Mechanism::Base),
             PfCfg::RedhipOnly | PfCfg::SpRedhip => cfg_for(s, Mechanism::Redhip),
@@ -597,7 +618,7 @@ pub fn fig14_15(s: &Settings) -> (FigureOutput, FigureOutput) {
         json: json!({
             "configs": names,
             "workloads": s.workloads.iter().map(|w| w.name()).collect::<Vec<_>>(),
-            "speedup": sp14,
+            "speedup": &sp14,
             "averages": sp14.iter().map(|x| mean(x)).collect::<Vec<_>>(),
             "paper_note": "performance benefits are additive: SP+ReDHiP beats either alone",
         }),
@@ -612,7 +633,7 @@ pub fn fig14_15(s: &Settings) -> (FigureOutput, FigureOutput) {
         json: json!({
             "configs": names,
             "workloads": s.workloads.iter().map(|w| w.name()).collect::<Vec<_>>(),
-            "dynamic_ratio": sp15,
+            "dynamic_ratio": &sp15,
             "averages": sp15.iter().map(|x| mean(x)).collect::<Vec<_>>(),
             "paper_note": "SP alone costs energy (>1.0 on several benchmarks); combined lands between SP's cost and ReDHiP's savings",
         }),

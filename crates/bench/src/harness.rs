@@ -2,7 +2,7 @@
 
 use energy_model::presets::{demo_scale, table_i};
 use energy_model::PlatformSpec;
-use sim::{run_traces, Mechanism, RunResult, SimConfig};
+use sim::{run_traces, run_traces_with, Mechanism, RunResult, SimConfig, SimObserver};
 use workloads::{Benchmark, Scale};
 
 /// Which platform/workload scale an experiment runs at.
@@ -76,6 +76,41 @@ pub fn run_workload(cfg: &SimConfig, benchmark: Benchmark, scale: FigureScale) -
     run_traces(&cfg, traces)
 }
 
+/// Like [`run_workload`], but reports telemetry to `obs` while running.
+pub fn run_workload_with<O: SimObserver>(
+    cfg: &SimConfig,
+    benchmark: Benchmark,
+    scale: FigureScale,
+    obs: O,
+) -> (RunResult, O) {
+    let mut cfg = cfg.clone();
+    cfg.avg_cpi = benchmark.avg_cpi();
+    let ws = scale.workload_scale();
+    let traces = (0..cfg.platform.cores)
+        .map(|core| benchmark.trace(core, ws))
+        .collect();
+    run_traces_with(&cfg, traces, obs)
+}
+
+/// [`run_parallel`] with a stderr [`telemetry::Heartbeat`]: one tick per
+/// completed job, so long sweeps report jobs/s, % complete and ETA instead
+/// of ad-hoc progress lines.
+pub fn run_parallel_hb<J, R, F>(label: &str, jobs: Vec<J>, worker: F) -> Vec<R>
+where
+    J: Send + Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let heart = std::sync::Mutex::new(telemetry::Heartbeat::new(label, "jobs", jobs.len() as u64));
+    let out = run_parallel(jobs, |j| {
+        let r = worker(j);
+        heart.lock().expect("heartbeat poisoned").add(1);
+        r
+    });
+    heart.lock().expect("heartbeat poisoned").finish();
+    out
+}
+
 /// Runs a set of jobs across threads (the harness is embarrassingly
 /// parallel across workload × mechanism). Results return in job order.
 pub fn run_parallel<J, R, F>(jobs: Vec<J>, worker: F) -> Vec<R>
@@ -93,10 +128,11 @@ where
     }
     let n = jobs.len();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<R>>> = (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    crossbeam::thread::scope(|s| {
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -105,11 +141,14 @@ where
                 *slots[i].lock().expect("slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("slot poisoned").expect("job produced no result"))
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("job produced no result")
+        })
         .collect()
 }
 

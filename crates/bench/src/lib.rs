@@ -9,6 +9,7 @@ pub mod ablate;
 pub mod figdata;
 pub mod figures;
 pub mod harness;
+pub mod micro;
 pub mod table;
 
 pub use harness::{mechanism_config, run_workload, FigureScale};

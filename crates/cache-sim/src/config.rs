@@ -2,10 +2,9 @@
 
 use crate::geometry::BlockGeometry;
 use crate::replacement::ReplacementPolicy;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one set-associative cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,

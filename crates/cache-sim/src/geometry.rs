@@ -1,11 +1,9 @@
 //! Address geometry: splitting a byte address into block offset, set index,
 //! and tag — the format of the paper's Figure 3.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one cache array. All simulator-internal addressing works on
 /// *block addresses* (`byte_addr >> block_bits`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockGeometry {
     /// log2 of the block size in bytes (6 → 64-byte blocks, as in the paper).
     pub block_bits: u32,
@@ -67,7 +65,6 @@ impl BlockGeometry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn paper_l4_geometry() {
@@ -107,19 +104,43 @@ mod tests {
         let _ = BlockGeometry::from_capacity(32 << 10, 4, 48);
     }
 
-    proptest! {
-        #[test]
-        fn prop_parts_roundtrip(block in any::<u64>(), set_bits in 0u32..20) {
-            let g = BlockGeometry { block_bits: 6, set_bits };
-            let block = block >> 6; // keep tag within u64 after shift back
-            prop_assert_eq!(g.block_from_parts(g.tag_of(block), g.set_of(block)), block);
-        }
+    /// Tiny deterministic PRNG for the randomized tests below (this crate
+    /// intentionally has no dependencies, not even on `mem-trace`).
+    fn splitmix(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
 
-        #[test]
-        fn prop_same_set_blocks_share_low_bits(a in any::<u64>(), b in any::<u64>()) {
-            let g = BlockGeometry { block_bits: 6, set_bits: 12 };
+    #[test]
+    fn parts_roundtrip_randomized() {
+        let mut st = 0x6E0u64;
+        for case in 0..2048u32 {
+            let set_bits = case % 20;
+            let g = BlockGeometry {
+                block_bits: 6,
+                set_bits,
+            };
+            let block = splitmix(&mut st) >> 6; // keep tag within u64 after shift back
+            assert_eq!(g.block_from_parts(g.tag_of(block), g.set_of(block)), block);
+        }
+    }
+
+    #[test]
+    fn same_set_blocks_share_low_bits_randomized() {
+        let mut st = 0x6E1u64;
+        let g = BlockGeometry {
+            block_bits: 6,
+            set_bits: 12,
+        };
+        for _ in 0..4096 {
+            // Force set collisions often by masking to a small universe.
+            let a = splitmix(&mut st) & 0x3_ffff;
+            let b = splitmix(&mut st) & 0x3_ffff;
             if g.set_of(a) == g.set_of(b) {
-                prop_assert_eq!(a & 0xfff, b & 0xfff);
+                assert_eq!(a & 0xfff, b & 0xfff);
             }
         }
     }

@@ -11,10 +11,9 @@
 use crate::cache::{Cache, Evicted};
 use crate::config::CacheConfig;
 use crate::traversal::{HierarchyStats, LevelId, Traversal, MEMORY};
-use serde::{Deserialize, Serialize};
 
 /// Inclusion policy of the hierarchy (§III-C of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InclusionPolicy {
     /// Every level contains all data of the levels above it (paper default).
     Inclusive,
@@ -25,8 +24,32 @@ pub enum InclusionPolicy {
     Hybrid,
 }
 
+impl minijson::ToJson for InclusionPolicy {
+    fn to_json(&self) -> minijson::Json {
+        minijson::Json::Str(
+            match self {
+                InclusionPolicy::Inclusive => "Inclusive",
+                InclusionPolicy::Exclusive => "Exclusive",
+                InclusionPolicy::Hybrid => "Hybrid",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl minijson::FromJson for InclusionPolicy {
+    fn from_json(v: &minijson::Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("Inclusive") => Ok(InclusionPolicy::Inclusive),
+            Some("Exclusive") => Ok(InclusionPolicy::Exclusive),
+            Some("Hybrid") => Ok(InclusionPolicy::Hybrid),
+            _ => Err(format!("not an InclusionPolicy: {v:?}")),
+        }
+    }
+}
+
 /// Static description of a hierarchy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HierarchyConfig {
     /// Number of cores (each gets a private copy of `private_levels`).
     pub cores: usize,
@@ -69,7 +92,13 @@ impl DeepHierarchy {
             "need at least one private level above the LLC"
         );
         let private = (0..config.cores)
-            .map(|_| config.private_levels.iter().map(|c| Cache::new(*c)).collect())
+            .map(|_| {
+                config
+                    .private_levels
+                    .iter()
+                    .map(|c| Cache::new(*c))
+                    .collect()
+            })
             .collect();
         Self {
             cores: config.cores,
@@ -138,7 +167,13 @@ impl DeepHierarchy {
     }
 
     /// L1 demand access. Logs the lookup; returns true on hit.
-    pub fn access_first(&mut self, core: usize, block: u64, is_store: bool, t: &mut Traversal) -> bool {
+    pub fn access_first(
+        &mut self,
+        core: usize,
+        block: u64,
+        is_store: bool,
+        t: &mut Traversal,
+    ) -> bool {
         let hit = self.private[core][0].access(block, is_store);
         t.lookups.push((0, hit));
         if hit {
@@ -199,7 +234,13 @@ impl DeepHierarchy {
                         .invalidate(block)
                         .expect("hybrid promote: block vanished from hit level");
                     t.removed.push((hit_level, block));
-                    self.insert_top_exclusive(core, block, ev.dirty || is_store, self.levels - 1, t);
+                    self.insert_top_exclusive(
+                        core,
+                        block,
+                        ev.dirty || is_store,
+                        self.levels - 1,
+                        t,
+                    );
                 }
             }
         }
@@ -283,7 +324,11 @@ impl DeepHierarchy {
                 let below = lvl + 1;
                 t.writebacks.push(below);
                 let ok = self.cache_mut(core, below).mark_dirty(v.block);
-                debug_assert!(ok, "inclusion violated: victim {0:#x} absent below", v.block);
+                debug_assert!(
+                    ok,
+                    "inclusion violated: victim {0:#x} absent below",
+                    v.block
+                );
             }
         }
     }
@@ -354,7 +399,13 @@ impl DeepHierarchy {
 
     /// Probes a level without updating recency (prefetch presence check).
     /// Logs a lookup (tag access) against the level.
-    pub fn prefetch_probe(&mut self, core: usize, level: LevelId, block: u64, t: &mut Traversal) -> bool {
+    pub fn prefetch_probe(
+        &mut self,
+        core: usize,
+        level: LevelId,
+        block: u64,
+        t: &mut Traversal,
+    ) -> bool {
         let hit = self.cache_ref(core, level).probe(block);
         t.lookups.push((level, hit));
         if hit {
@@ -366,7 +417,13 @@ impl DeepHierarchy {
     /// Installs a prefetched block into the inclusive hierarchy at every
     /// level from the LLC up to `up_to_level` (exclusive of L1 when
     /// `up_to_level > 0`). Panics outside the inclusive policy.
-    pub fn prefetch_fill(&mut self, core: usize, up_to_level: LevelId, block: u64, t: &mut Traversal) {
+    pub fn prefetch_fill(
+        &mut self,
+        core: usize,
+        up_to_level: LevelId,
+        block: u64,
+        t: &mut Traversal,
+    ) {
         assert_eq!(
             self.policy,
             InclusionPolicy::Inclusive,
@@ -464,10 +521,7 @@ impl DeepHierarchy {
 
     /// True when `block` resides at any level reachable by `core`.
     pub fn resident_anywhere(&self, core: usize, block: u64) -> bool {
-        self.private[core]
-            .iter()
-            .any(|c| c.probe(block))
-            || self.shared.probe(block)
+        self.private[core].iter().any(|c| c.probe(block)) || self.shared.probe(block)
     }
 }
 
@@ -480,9 +534,9 @@ mod tests {
         HierarchyConfig {
             cores: 2,
             private_levels: vec![
-                CacheConfig::lru(128, 2, 64),  // L1: 1 set × 2 ways
-                CacheConfig::lru(256, 2, 64),  // L2: 2 sets × 2 ways
-                CacheConfig::lru(512, 2, 64),  // L3: 4 sets × 2 ways
+                CacheConfig::lru(128, 2, 64), // L1: 1 set × 2 ways
+                CacheConfig::lru(256, 2, 64), // L2: 2 sets × 2 ways
+                CacheConfig::lru(512, 2, 64), // L3: 4 sets × 2 ways
             ],
             shared_llc: CacheConfig::lru(2048, 4, 64), // L4: 8 sets × 4 ways
             policy,
@@ -562,7 +616,7 @@ mod tests {
         demand(&mut h, 0, 1, true, &mut t); // store → dirty in L1
         demand(&mut h, 0, 2, false, &mut t);
         demand(&mut h, 0, 3, false, &mut t); // evicts block 1 from L1
-        // A writeback must have arrived at L2 (level 1).
+                                             // A writeback must have arrived at L2 (level 1).
         assert!(h.stats().levels[1].writebacks_in >= 1);
         h.check_invariants().unwrap();
     }
@@ -621,7 +675,10 @@ mod tests {
         demand(&mut h, 0, 3, false, &mut t); // block 1 now in L2
         demand(&mut h, 0, 1, false, &mut t); // hit in L2 → move back to L1
         assert!(h.private_cache(0, 0).probe(1));
-        assert!(!h.private_cache(0, 1).probe(1), "exclusive: removed from L2");
+        assert!(
+            !h.private_cache(0, 1).probe(1),
+            "exclusive: removed from L2"
+        );
         h.check_invariants().unwrap();
     }
 
@@ -630,7 +687,7 @@ mod tests {
         let mut h = DeepHierarchy::new(&tiny_config(InclusionPolicy::Exclusive));
         let mut t = Traversal::new();
         demand(&mut h, 0, 1, true, &mut t); // dirty in L1
-        // Push it all the way down: L1(2) → L2(4 lines) → L3(8) → LLC(32).
+                                            // Push it all the way down: L1(2) → L2(4 lines) → L3(8) → LLC(32).
         for b in 2..20u64 {
             demand(&mut h, 0, b, false, &mut t);
         }
@@ -647,7 +704,10 @@ mod tests {
                 wb_seen = true;
             }
         }
-        assert!(wb_seen, "dirty data must reach memory when displaced off-chip");
+        assert!(
+            wb_seen,
+            "dirty data must reach memory when displaced off-chip"
+        );
         h.check_invariants().unwrap();
     }
 

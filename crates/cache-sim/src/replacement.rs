@@ -5,10 +5,8 @@
 //! RRIP). Each policy keeps its own per-set state and exposes three hooks:
 //! `on_hit`, `on_fill`, and `victim`.
 
-use serde::{Deserialize, Serialize};
-
 /// Which replacement policy a cache runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplacementPolicy {
     /// Exact least-recently-used (per-way timestamps).
     Lru,
@@ -20,6 +18,34 @@ pub enum ReplacementPolicy {
     Random,
     /// Static re-reference interval prediction, 2-bit RRPV (Jaleel et al.).
     Srrip,
+}
+
+impl minijson::ToJson for ReplacementPolicy {
+    fn to_json(&self) -> minijson::Json {
+        minijson::Json::Str(
+            match self {
+                ReplacementPolicy::Lru => "Lru",
+                ReplacementPolicy::TreePlru => "TreePlru",
+                ReplacementPolicy::Fifo => "Fifo",
+                ReplacementPolicy::Random => "Random",
+                ReplacementPolicy::Srrip => "Srrip",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl minijson::FromJson for ReplacementPolicy {
+    fn from_json(v: &minijson::Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("Lru") => Ok(ReplacementPolicy::Lru),
+            Some("TreePlru") => Ok(ReplacementPolicy::TreePlru),
+            Some("Fifo") => Ok(ReplacementPolicy::Fifo),
+            Some("Random") => Ok(ReplacementPolicy::Random),
+            Some("Srrip") => Ok(ReplacementPolicy::Srrip),
+            _ => Err(format!("not a ReplacementPolicy: {v:?}")),
+        }
+    }
 }
 
 /// Runtime replacement state for a whole cache.
@@ -48,9 +74,13 @@ impl ReplacerState {
                     "tree-PLRU requires power-of-two associativity, got {assoc}"
                 );
                 assert!(assoc <= 16, "tree-PLRU state packed in u16 (assoc ≤ 16)");
-                ReplacerState::TreePlru { bits: vec![0; sets] }
+                ReplacerState::TreePlru {
+                    bits: vec![0; sets],
+                }
             }
-            ReplacementPolicy::Fifo => ReplacerState::Fifo { next: vec![0; sets] },
+            ReplacementPolicy::Fifo => ReplacerState::Fifo {
+                next: vec![0; sets],
+            },
             ReplacementPolicy::Random => ReplacerState::Random {
                 state: 0x9e37_79b9_7f4a_7c15,
             },
@@ -279,7 +309,7 @@ mod tests {
             r.on_fill(0, w, 4);
         }
         r.on_hit(0, 2, 4); // rrpv[2] = 0
-        // All others sit at 2; aging promotes them to 3 before way 2.
+                           // All others sit at 2; aging promotes them to 3 before way 2.
         let v = r.victim(0, 4);
         assert_ne!(v, 2);
     }

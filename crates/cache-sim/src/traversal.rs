@@ -12,8 +12,6 @@
 //! [`Traversal::clear`] and hand it back to the hierarchy. Its vectors
 //! retain capacity, so steady-state simulation performs no allocation.
 
-use serde::Serialize;
-
 /// Cache level index: 0 = L1, `levels-1` = LLC.
 pub type LevelId = u8;
 
@@ -81,7 +79,7 @@ impl Traversal {
 }
 
 /// Counters for one cache level, aggregated across cores.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LevelStats {
     /// Demand lookups performed against this level's arrays.
     pub lookups: u64,
@@ -108,8 +106,21 @@ impl LevelStats {
     }
 }
 
+impl minijson::ToJson for LevelStats {
+    fn to_json(&self) -> minijson::Json {
+        minijson::json!({
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "fills": self.fills,
+            "evictions": self.evictions,
+            "writebacks_in": self.writebacks_in,
+            "invalidations": self.invalidations,
+        })
+    }
+}
+
 /// Aggregate statistics for a whole hierarchy.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct HierarchyStats {
     /// Per-level counters, index 0 = L1.
     pub levels: Vec<LevelStats>,
@@ -164,6 +175,16 @@ impl HierarchyStats {
     }
 }
 
+impl minijson::ToJson for HierarchyStats {
+    fn to_json(&self) -> minijson::Json {
+        minijson::json!({
+            "levels": minijson::Json::Arr(self.levels.iter().map(|l| l.to_json()).collect()),
+            "memory_writebacks": self.memory_writebacks,
+            "memory_fetches": self.memory_fetches,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,7 +218,8 @@ mod tests {
     fn stats_absorb_counts_lookups_and_memory() {
         let mut s = HierarchyStats::new(4);
         let mut t = Traversal::new();
-        t.lookups.extend([(0, false), (1, false), (2, false), (3, false)]);
+        t.lookups
+            .extend([(0, false), (1, false), (2, false), (3, false)]);
         t.fills.extend([3, 2, 1, 0]);
         t.writebacks.push(MEMORY);
         t.hit_level = None;

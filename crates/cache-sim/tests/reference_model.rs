@@ -4,7 +4,6 @@
 //! statement we can make about the substrate every result rests on.
 
 use cache_sim::{Cache, CacheConfig};
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 /// Obviously-correct model: one LRU stack (front = MRU) per set, entries
@@ -29,7 +28,9 @@ impl ModelCache {
     }
 
     fn probe(&self, block: u64) -> bool {
-        self.sets[self.set_of(block)].iter().any(|&(b, _)| b == block)
+        self.sets[self.set_of(block)]
+            .iter()
+            .any(|&(b, _)| b == block)
     }
 
     fn access(&mut self, block: u64, store: bool) -> bool {
@@ -73,45 +74,59 @@ enum Op {
     MarkDirty(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    // A narrow block universe keeps sets contended.
-    let block = 0u64..96;
-    prop_oneof![
-        (block.clone(), any::<bool>()).prop_map(|(b, s)| Op::Access(b, s)),
-        (block.clone(), any::<bool>()).prop_map(|(b, d)| Op::Fill(b, d)),
-        block.clone().prop_map(Op::Invalidate),
-        block.prop_map(Op::MarkDirty),
-    ]
+/// Tiny deterministic PRNG (SplitMix64) so this test needs no external
+/// crates; 512 random cases mirror the old property-test configuration.
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-    #[test]
-    fn cache_matches_lru_stack_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+fn random_op(st: &mut u64) -> Op {
+    // A narrow block universe (0..96) keeps sets contended.
+    let block = splitmix(st) % 96;
+    let flag = splitmix(st) & 1 == 1;
+    match splitmix(st) % 4 {
+        0 => Op::Access(block, flag),
+        1 => Op::Fill(block, flag),
+        2 => Op::Invalidate(block),
+        _ => Op::MarkDirty(block),
+    }
+}
+
+#[test]
+fn cache_matches_lru_stack_model() {
+    let mut st = 0xCAC4E_u64;
+    for _case in 0..512 {
+        let len = 1 + (splitmix(&mut st) % 399) as usize;
+        let ops: Vec<Op> = (0..len).map(|_| random_op(&mut st)).collect();
         // 8 sets × 4 ways, LRU.
         let mut cache = Cache::new(CacheConfig::lru(2048, 4, 64));
         let mut model = ModelCache::new(8, 4);
         for op in ops {
             match op {
                 Op::Access(b, s) => {
-                    prop_assert_eq!(cache.access(b, s), model.access(b, s), "access {}", b);
+                    assert_eq!(cache.access(b, s), model.access(b, s), "access {}", b);
                 }
                 Op::Fill(b, d) => {
                     // The production cache forbids double-fill; mirror that.
                     if !model.probe(b) {
                         let got = cache.fill(b, d);
                         let want = model.fill(b, d);
-                        prop_assert_eq!(
+                        assert_eq!(
                             got.map(|e| (e.block, e.dirty)),
                             want,
-                            "fill {} evicted differently", b
+                            "fill {} evicted differently",
+                            b
                         );
                     }
                 }
                 Op::Invalidate(b) => {
                     let got = cache.invalidate(b);
                     let want = model.invalidate(b);
-                    prop_assert_eq!(got.map(|e| (e.block, e.dirty)), want, "invalidate {}", b);
+                    assert_eq!(got.map(|e| (e.block, e.dirty)), want, "invalidate {}", b);
                 }
                 Op::MarkDirty(b) => {
                     let got = cache.mark_dirty(b);
@@ -123,14 +138,14 @@ proptest! {
                             e.1 = true;
                         })
                         .is_some();
-                    prop_assert_eq!(got, want, "mark_dirty {}", b);
+                    assert_eq!(got, want, "mark_dirty {}", b);
                 }
             }
-            prop_assert_eq!(cache.occupancy(), model.occupancy());
+            assert_eq!(cache.occupancy(), model.occupancy());
         }
         // Final residency agreement, block by block.
         for b in 0..96u64 {
-            prop_assert_eq!(cache.probe(b), model.probe(b), "final residency of {}", b);
+            assert_eq!(cache.probe(b), model.probe(b), "final residency of {}", b);
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Dynamic-energy accumulation and end-of-run reporting.
 
 use crate::spec::PlatformSpec;
-use serde::Serialize;
+use minijson::{json, Json, ToJson};
 
 /// Streaming accumulator for dynamic energy, split by component.
 ///
@@ -93,7 +93,7 @@ impl EnergyAccount {
 }
 
 /// Finalized energy report for one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EnergyReport {
     /// Dynamic energy per cache level, joules.
     pub dynamic_by_level_j: Vec<f64>,
@@ -143,6 +143,21 @@ impl EnergyReport {
             return 0.0;
         }
         self.dynamic_by_level_j.iter().skip(2).sum::<f64>() / total
+    }
+}
+
+impl ToJson for EnergyReport {
+    fn to_json(&self) -> Json {
+        json!({
+            "dynamic_by_level_j": Json::from(self.dynamic_by_level_j.clone()),
+            "predictor_dynamic_j": self.predictor_dynamic_j,
+            "recalibration_j": self.recalibration_j,
+            "prefetcher_j": self.prefetcher_j,
+            "leakage_by_level_j": Json::from(self.leakage_by_level_j.clone()),
+            "predictor_leakage_j": self.predictor_leakage_j,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+        })
     }
 }
 

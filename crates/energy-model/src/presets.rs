@@ -176,7 +176,10 @@ mod tests {
         // Overhead ratio unchanged.
         assert!((p.predictor_overhead_ratio() - 0.0078125).abs() < 1e-9);
         // Inclusion headroom: 8 private L3s fill exactly half the LLC.
-        assert_eq!(p.levels[2].capacity_bytes * p.cores as u64, llc.capacity_bytes / 2);
+        assert_eq!(
+            p.levels[2].capacity_bytes * p.cores as u64,
+            llc.capacity_bytes / 2
+        );
         // Levels stay strictly monotonic.
         for w in p.levels.windows(2) {
             assert!(w[0].capacity_bytes < w[1].capacity_bytes);
@@ -189,7 +192,10 @@ mod tests {
         let p = demo_scale();
         assert_eq!(p.levels[0].capacity_bytes, base.levels[0].capacity_bytes);
         assert_eq!(p.levels[1].capacity_bytes, base.levels[1].capacity_bytes);
-        assert_eq!(p.levels[2].capacity_bytes, base.levels[2].capacity_bytes / 8);
+        assert_eq!(
+            p.levels[2].capacity_bytes,
+            base.levels[2].capacity_bytes / 8
+        );
         for (a, b) in p.levels.iter().zip(base.levels.iter()) {
             assert!((a.parallel_lookup_nj() - b.parallel_lookup_nj()).abs() < 1e-12);
             assert_eq!(a.data_delay, b.data_delay);

@@ -1,6 +1,6 @@
 //! Architecture parameter structures (the shape of the paper's Table I).
 
-use serde::{Deserialize, Serialize};
+use minijson::{json, FromJson, Json, ToJson};
 
 /// Parameters of one cache level's arrays.
 ///
@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// tag/data delays — lookups then cost exactly the published values under
 /// parallel access, and the Phased optimization (which the paper applies
 /// only to L3/L4) is never enabled for them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheSpec {
     /// Capacity in bytes.
     pub capacity_bytes: u64,
@@ -56,7 +56,7 @@ impl CacheSpec {
 
 /// Parameters of the ReDHiP prediction table (or the CBF given the same
 /// area budget).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictorSpec {
     /// Table capacity in bytes (512 KB in the paper = 0.78% of the LLC).
     pub size_bytes: u64,
@@ -98,7 +98,7 @@ impl PredictorSpec {
 }
 
 /// Full platform description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformSpec {
     /// Core count (each runs one trace).
     pub cores: usize,
@@ -145,13 +145,96 @@ impl PlatformSpec {
             .enumerate()
             .map(|(i, l)| l.leakage_w * self.instances(i) as f64)
             .sum();
-        caches + if include_predictor { self.predictor.leakage_w } else { 0.0 }
+        caches
+            + if include_predictor {
+                self.predictor.leakage_w
+            } else {
+                0.0
+            }
     }
 
     /// Predictor capacity as a fraction of LLC capacity (the paper's
     /// headline 0.78% hardware-overhead figure).
     pub fn predictor_overhead_ratio(&self) -> f64 {
         self.predictor.size_bytes as f64 / self.llc().capacity_bytes as f64
+    }
+}
+
+impl ToJson for CacheSpec {
+    fn to_json(&self) -> Json {
+        json!({
+            "capacity_bytes": self.capacity_bytes,
+            "assoc": self.assoc,
+            "tag_delay": self.tag_delay,
+            "data_delay": self.data_delay,
+            "tag_energy_nj": self.tag_energy_nj,
+            "data_energy_nj": self.data_energy_nj,
+            "leakage_w": self.leakage_w,
+        })
+    }
+}
+
+impl FromJson for CacheSpec {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            capacity_bytes: v.u64_of("capacity_bytes")?,
+            assoc: v.u64_of("assoc")? as usize,
+            tag_delay: v.u64_of("tag_delay")?,
+            data_delay: v.u64_of("data_delay")?,
+            tag_energy_nj: v.f64_of("tag_energy_nj")?,
+            data_energy_nj: v.f64_of("data_energy_nj")?,
+            leakage_w: v.f64_of("leakage_w")?,
+        })
+    }
+}
+
+impl ToJson for PredictorSpec {
+    fn to_json(&self) -> Json {
+        json!({
+            "size_bytes": self.size_bytes,
+            "access_delay": self.access_delay,
+            "wire_delay": self.wire_delay,
+            "access_energy_nj": self.access_energy_nj,
+            "leakage_w": self.leakage_w,
+        })
+    }
+}
+
+impl FromJson for PredictorSpec {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            size_bytes: v.u64_of("size_bytes")?,
+            access_delay: v.u64_of("access_delay")?,
+            wire_delay: v.u64_of("wire_delay")?,
+            access_energy_nj: v.f64_of("access_energy_nj")?,
+            leakage_w: v.f64_of("leakage_w")?,
+        })
+    }
+}
+
+impl ToJson for PlatformSpec {
+    fn to_json(&self) -> Json {
+        json!({
+            "cores": self.cores,
+            "freq_ghz": self.freq_ghz,
+            "levels": Json::Arr(self.levels.iter().map(|l| l.to_json()).collect()),
+            "predictor": self.predictor.to_json(),
+        })
+    }
+}
+
+impl FromJson for PlatformSpec {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            cores: v.u64_of("cores")? as usize,
+            freq_ghz: v.f64_of("freq_ghz")?,
+            levels: v
+                .arr_of("levels")?
+                .iter()
+                .map(CacheSpec::from_json)
+                .collect::<Result<_, _>>()?,
+            predictor: PredictorSpec::from_json(v.member("predictor")?)?,
+        })
     }
 }
 

@@ -13,13 +13,19 @@ pub trait TraceSourceExt: TraceSource + Sized {
     /// *sharing*, as in a multi-programmed run. High-bit offsets leave the
     /// low index bits — and therefore the prediction-table hash — untouched.
     fn offset_address_space(self, offset: u64) -> OffsetAddr<Self> {
-        OffsetAddr { inner: self, offset }
+        OffsetAddr {
+            inner: self,
+            offset,
+        }
     }
 
     /// Rewrites every program counter by `offset` (keeps per-core stride
     /// prefetcher tables from aliasing across duplicated traces).
     fn offset_pcs(self, offset: u64) -> OffsetPc<Self> {
-        OffsetPc { inner: self, offset }
+        OffsetPc {
+            inner: self,
+            offset,
+        }
     }
 
     /// Forces a fixed compute gap on every record, overriding whatever the

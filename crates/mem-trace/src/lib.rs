@@ -22,6 +22,7 @@ pub mod codec;
 pub mod ext;
 pub mod record;
 pub mod reuse;
+pub mod rng;
 pub mod stats;
 pub mod synth;
 pub mod zipf;
@@ -29,6 +30,7 @@ pub mod zipf;
 pub use ext::TraceSourceExt;
 pub use record::{MemOp, TraceRecord};
 pub use reuse::ReuseHistogram;
+pub use rng::Rng64;
 pub use stats::TraceStats;
 
 /// A stream of memory-reference records.

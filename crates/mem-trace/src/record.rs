@@ -1,9 +1,9 @@
 //! The fundamental trace record type.
 
-use serde::{Deserialize, Serialize};
+use minijson::{json, FromJson, Json, ToJson};
 
 /// Kind of memory operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemOp {
     /// A data load (read).
     Load,
@@ -44,7 +44,7 @@ impl MemOp {
 /// executed since the previous reference (`gap`). The simulator charges
 /// `gap × avg_cpi` cycles of compute time between references, matching the
 /// paper's average-CPI timing model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceRecord {
     /// Address of the instruction performing the access.
     pub pc: u64,
@@ -92,6 +92,50 @@ impl TraceRecord {
     }
 }
 
+impl ToJson for MemOp {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                MemOp::Load => "Load",
+                MemOp::Store => "Store",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for MemOp {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("Load") => Ok(MemOp::Load),
+            Some("Store") => Ok(MemOp::Store),
+            _ => Err(format!("not a MemOp: {v:?}")),
+        }
+    }
+}
+
+impl ToJson for TraceRecord {
+    fn to_json(&self) -> Json {
+        json!({
+            "pc": self.pc,
+            "addr": self.addr,
+            "gap": self.gap,
+            "op": self.op.to_json(),
+        })
+    }
+}
+
+impl FromJson for TraceRecord {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            pc: v.u64_of("pc")?,
+            addr: v.u64_of("addr")?,
+            gap: v.u64_of("gap")? as u32,
+            op: MemOp::from_json(v.member("op")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,10 +172,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_json_roundtrip() {
+    fn json_roundtrip() {
         let r = TraceRecord::new(1, 2, MemOp::Store, 3);
-        let s = serde_json::to_string(&r).unwrap();
-        let back: TraceRecord = serde_json::from_str(&s).unwrap();
+        let s = r.to_json().dump();
+        let back = TraceRecord::from_json(&minijson::parse(&s).unwrap()).unwrap();
         assert_eq!(back, r);
     }
 }

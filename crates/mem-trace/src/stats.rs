@@ -6,12 +6,11 @@
 //! path.
 
 use crate::record::TraceRecord;
-use serde::Serialize;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Aggregate statistics over a stream of records.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TraceStats {
     /// Total records observed.
     pub records: u64,

@@ -6,9 +6,8 @@
 //! bound them with `take(n)`.
 
 use crate::record::{MemOp, TraceRecord};
+use crate::rng::Rng64;
 use crate::zipf::Zipf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A memory region expressed in bytes, `[base, base + len)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +110,7 @@ impl Iterator for SequentialStream {
 #[derive(Debug, Clone)]
 pub struct RandomInRegion {
     region: Region,
-    rng: StdRng,
+    rng: Rng64,
     pc: u64,
     store_prob: f64,
     gap: u32,
@@ -125,7 +124,7 @@ impl RandomInRegion {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         Self {
             region,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
             pc,
             store_prob,
             gap,
@@ -138,13 +137,18 @@ impl Iterator for RandomInRegion {
     type Item = TraceRecord;
 
     fn next(&mut self) -> Option<TraceRecord> {
-        let off = self.rng.gen_range(0..self.region.len) & !(self.align - 1);
+        let off = self.rng.gen_below(self.region.len) & !(self.align - 1);
         let op = if self.rng.gen_bool(self.store_prob) {
             MemOp::Store
         } else {
             MemOp::Load
         };
-        Some(TraceRecord::new(self.pc, self.region.base + off, op, self.gap))
+        Some(TraceRecord::new(
+            self.pc,
+            self.region.base + off,
+            op,
+            self.gap,
+        ))
     }
 }
 
@@ -155,7 +159,7 @@ pub struct ZipfOverRecords {
     region: Region,
     record_bytes: u64,
     zipf: Zipf,
-    rng: StdRng,
+    rng: Rng64,
     pc: u64,
     store_prob: f64,
     gap: u32,
@@ -179,7 +183,7 @@ impl ZipfOverRecords {
             region,
             record_bytes,
             zipf: Zipf::new(n, s),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
             pc,
             store_prob,
             gap,
@@ -222,10 +226,10 @@ impl PointerChase {
     pub fn new(base: u64, nodes: u32, node_bytes: u64, seed: u64, pc: u64, gap: u32) -> Self {
         assert!(nodes >= 2, "pointer chase needs at least two nodes");
         let mut next: Vec<u32> = (0..nodes).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         // Sattolo's algorithm: produces a single cycle covering all nodes.
         for i in (1..nodes as usize).rev() {
-            let j = rng.gen_range(0..i);
+            let j = rng.gen_index(i);
             next.swap(i, j);
         }
         Self {
@@ -329,14 +333,54 @@ impl Iterator for Stencil3D {
     fn next(&mut self) -> Option<TraceRecord> {
         let (x, y, z) = (self.x, self.y, self.z);
         let rec = match self.phase {
-            0 => TraceRecord::new(self.pc, self.in_base + self.idx(x, y, z), MemOp::Load, self.gap),
-            1 => TraceRecord::new(self.pc + 4, self.in_base + self.idx(x - 1, y, z), MemOp::Load, self.gap),
-            2 => TraceRecord::new(self.pc + 8, self.in_base + self.idx(x + 1, y, z), MemOp::Load, self.gap),
-            3 => TraceRecord::new(self.pc + 12, self.in_base + self.idx(x, y - 1, z), MemOp::Load, self.gap),
-            4 => TraceRecord::new(self.pc + 16, self.in_base + self.idx(x, y + 1, z), MemOp::Load, self.gap),
-            5 => TraceRecord::new(self.pc + 20, self.in_base + self.idx(x, y, z - 1), MemOp::Load, self.gap),
-            6 => TraceRecord::new(self.pc + 24, self.in_base + self.idx(x, y, z + 1), MemOp::Load, self.gap),
-            _ => TraceRecord::new(self.pc + 28, self.out_base + self.idx(x, y, z), MemOp::Store, self.gap),
+            0 => TraceRecord::new(
+                self.pc,
+                self.in_base + self.idx(x, y, z),
+                MemOp::Load,
+                self.gap,
+            ),
+            1 => TraceRecord::new(
+                self.pc + 4,
+                self.in_base + self.idx(x - 1, y, z),
+                MemOp::Load,
+                self.gap,
+            ),
+            2 => TraceRecord::new(
+                self.pc + 8,
+                self.in_base + self.idx(x + 1, y, z),
+                MemOp::Load,
+                self.gap,
+            ),
+            3 => TraceRecord::new(
+                self.pc + 12,
+                self.in_base + self.idx(x, y - 1, z),
+                MemOp::Load,
+                self.gap,
+            ),
+            4 => TraceRecord::new(
+                self.pc + 16,
+                self.in_base + self.idx(x, y + 1, z),
+                MemOp::Load,
+                self.gap,
+            ),
+            5 => TraceRecord::new(
+                self.pc + 20,
+                self.in_base + self.idx(x, y, z - 1),
+                MemOp::Load,
+                self.gap,
+            ),
+            6 => TraceRecord::new(
+                self.pc + 24,
+                self.in_base + self.idx(x, y, z + 1),
+                MemOp::Load,
+                self.gap,
+            ),
+            _ => TraceRecord::new(
+                self.pc + 28,
+                self.out_base + self.idx(x, y, z),
+                MemOp::Store,
+                self.gap,
+            ),
         };
         if self.phase == 7 {
             self.phase = 0;
@@ -399,7 +443,7 @@ impl<T: Iterator<Item = TraceRecord>> Iterator for LineTouches<T> {
 pub struct WeightedMix {
     sources: Vec<Box<dyn Iterator<Item = TraceRecord> + Send>>,
     cumulative: Vec<f64>,
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl WeightedMix {
@@ -424,7 +468,7 @@ impl WeightedMix {
         Self {
             sources,
             cumulative,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
         }
     }
 }
@@ -433,7 +477,7 @@ impl Iterator for WeightedMix {
     type Item = TraceRecord;
 
     fn next(&mut self) -> Option<TraceRecord> {
-        let u: f64 = self.rng.gen();
+        let u: f64 = self.rng.gen_f64();
         let i = self
             .cumulative
             .iter()
@@ -500,7 +544,11 @@ mod tests {
         let g = PointerChase::new(0, nodes, 64, 5, 0x400, 2);
         let visited: std::collections::HashSet<u64> =
             g.take(nodes as usize).map(|r| r.addr).collect();
-        assert_eq!(visited.len(), nodes as usize, "Sattolo cycle covers all nodes");
+        assert_eq!(
+            visited.len(),
+            nodes as usize,
+            "Sattolo cycle covers all nodes"
+        );
     }
 
     #[test]

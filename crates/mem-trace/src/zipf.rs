@@ -6,7 +6,7 @@
 //! (Hörmann & Derflinger 1996, as popularized by Apache Commons RNG), which
 //! samples `k ∈ [1, n]` with `P(k) ∝ 1/k^s` without precomputing tables.
 
-use rand::Rng;
+use crate::rng::Rng64;
 
 /// Rejection-inversion Zipf sampler over `1..=n` with exponent `s`.
 #[derive(Debug, Clone)]
@@ -41,11 +41,10 @@ impl Zipf {
     }
 
     /// Draws one sample in `[1, n]`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
         let s = self.exponent;
         loop {
-            let u = self.h_integral_n
-                + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let u = self.h_integral_n + rng.gen_f64() * (self.h_integral_x1 - self.h_integral_n);
             let x = h_integral_inverse(u, s);
             let mut k = (x + 0.5) as i64;
             if k < 1 {
@@ -99,13 +98,11 @@ fn h(x: f64, s: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn samples_stay_in_range() {
         let z = Zipf::new(1000, 0.99);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng64::seed_from_u64(42);
         for _ in 0..10_000 {
             let k = z.sample(&mut rng);
             assert!((1..=1000).contains(&k));
@@ -115,7 +112,7 @@ mod tests {
     #[test]
     fn low_ranks_dominate() {
         let z = Zipf::new(10_000, 1.1);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let mut head = 0usize;
         let total = 20_000;
         for _ in 0..total {
@@ -134,7 +131,7 @@ mod tests {
     fn rank_one_frequency_matches_theory() {
         // For s=1, P(1) = 1/H_n. With n=100, H_100 ≈ 5.187 → P(1) ≈ 0.1928.
         let z = Zipf::new(100, 1.0);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng64::seed_from_u64(11);
         let total = 200_000;
         let ones = (0..total).filter(|_| z.sample(&mut rng) == 1).count();
         let p = ones as f64 / total as f64;
@@ -144,7 +141,7 @@ mod tests {
     #[test]
     fn exponent_one_is_supported() {
         let z = Zipf::new(64, 1.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         for _ in 0..1000 {
             let k = z.sample(&mut rng);
             assert!((1..=64).contains(&k));
@@ -154,7 +151,7 @@ mod tests {
     #[test]
     fn singleton_support_always_returns_one() {
         let z = Zipf::new(1, 0.8);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut rng), 1);
         }

@@ -1,9 +1,9 @@
 //! PC-indexed reference prediction table with the Chen/Baer 2-bit FSM.
 
-use serde::{Deserialize, Serialize};
+use minijson::{json, FromJson, Json, ToJson};
 
 /// Stride prefetcher configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StrideConfig {
     /// log2 of the number of RPT entries.
     pub index_bits: u32,
@@ -25,6 +25,26 @@ impl Default for StrideConfig {
             degree: 2,
             min_advance: 64,
         }
+    }
+}
+
+impl ToJson for StrideConfig {
+    fn to_json(&self) -> Json {
+        json!({
+            "index_bits": self.index_bits,
+            "degree": self.degree,
+            "min_advance": self.min_advance,
+        })
+    }
+}
+
+impl FromJson for StrideConfig {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            index_bits: v.u64_of("index_bits")? as u32,
+            degree: v.u64_of("degree")? as u32,
+            min_advance: v.u64_of("min_advance")? as u32,
+        })
     }
 }
 
@@ -55,7 +75,7 @@ struct RptEntry {
 }
 
 /// Counters exposed by the prefetcher.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StrideStats {
     /// Training observations (one per memory reference fed in).
     pub trains: u64,
@@ -236,7 +256,10 @@ mod tests {
         for _ in 0..10 {
             p.train(0x30, 4096, &mut out);
         }
-        assert!(out.is_empty(), "repeated same-address access is not a stream");
+        assert!(
+            out.is_empty(),
+            "repeated same-address access is not a stream"
+        );
     }
 
     #[test]

@@ -107,10 +107,7 @@ mod tests {
     fn overhead_ratio_sizing_matches_paper() {
         // 0.78% of a 64 MB LLC → 512 KB → 2^22 entries; of 4 MB L3 → 32 KB;
         // of 256 KB L2 → 2 KB.
-        let b = PredictorBank::with_overhead_ratio(
-            &[256 << 10, 4 << 20, 64 << 20],
-            0.0078125,
-        );
+        let b = PredictorBank::with_overhead_ratio(&[256 << 10, 4 << 20, 64 << 20], 0.0078125);
         assert_eq!(b.table(0).capacity_bytes(), 2 << 10);
         assert_eq!(b.table(1).capacity_bytes(), 32 << 10);
         assert_eq!(b.table(2).capacity_bytes(), 512 << 10);

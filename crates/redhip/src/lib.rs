@@ -26,6 +26,26 @@
 //! The crate is substrate-agnostic: it never touches a cache directly. The
 //! `sim` crate feeds it fill/evict events and tag-array iterators.
 
+/// Faults in the pages behind a freshly zero-allocated table. The
+/// predictor tables are touched with hashed (effectively random) indices,
+/// so leaving them as untouched copy-on-write zero pages scatters page
+/// faults across the simulation hot path; one sequential pass here is far
+/// cheaper. The volatile write keeps the value-preserving store alive.
+pub(crate) fn prefault<T: Copy>(v: &mut [T]) {
+    const PAGE: usize = 4096;
+    let step = (PAGE / std::mem::size_of::<T>().max(1)).max(1);
+    let mut i = 0;
+    while i < v.len() {
+        // SAFETY: `i` is in bounds; the element is rewritten with its own
+        // value, so contents are unchanged.
+        unsafe {
+            let p = v.as_mut_ptr().add(i);
+            std::ptr::write_volatile(p, std::ptr::read(p));
+        }
+        i += step;
+    }
+}
+
 pub mod bank;
 pub mod cbf;
 pub mod exact;

@@ -14,10 +14,8 @@
 //! * Energy: one tag-array read per set (the whole set reads out at once)
 //!   plus one PT line write per line.
 
-use serde::{Deserialize, Serialize};
-
 /// Cost of one complete recalibration pass.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecalibCost {
     /// Stall cycles (neither the PT nor the LLC is usable meanwhile).
     pub cycles: u64,
@@ -26,7 +24,7 @@ pub struct RecalibCost {
 }
 
 /// Models the recalibration hardware for one (cache, table) pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecalibrationEngine {
     /// Sets in the covered cache (2^k).
     pub cache_sets: u64,

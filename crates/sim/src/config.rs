@@ -2,11 +2,11 @@
 
 use cache_sim::{InclusionPolicy, ReplacementPolicy};
 use energy_model::PlatformSpec;
+use minijson::{json, FromJson, Json, ToJson};
 use prefetch::StrideConfig;
-use serde::{Deserialize, Serialize};
 
 /// Which of the paper's five compared mechanisms to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mechanism {
     /// No prediction/optimization; all levels parallel tag+data.
     Base,
@@ -41,7 +41,7 @@ impl Mechanism {
 }
 
 /// CBF design knobs (Table/§II parameters of the baseline).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CbfParams {
     /// Bits per counter.
     pub counter_bits: u32,
@@ -65,8 +65,7 @@ impl Default for CbfParams {
 /// compared mechanisms and are excluded by default to match its
 /// accounting. Every knob exists so the `accounting_ablation` bench can
 /// quantify the choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AccountingOptions {
     /// Charge a data-array write for every line fill.
     pub charge_fills: bool,
@@ -76,9 +75,8 @@ pub struct AccountingOptions {
     pub charge_invalidation_probes: bool,
 }
 
-
 /// Full configuration of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Architecture parameters (sizes, delays, energies).
     pub platform: PlatformSpec,
@@ -166,6 +164,126 @@ impl SimConfig {
     }
 }
 
+impl ToJson for Mechanism {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Mechanism::Base => "Base",
+                Mechanism::Redhip => "Redhip",
+                Mechanism::Cbf => "Cbf",
+                Mechanism::Phased => "Phased",
+                Mechanism::Oracle => "Oracle",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Mechanism {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("Base") => Ok(Mechanism::Base),
+            Some("Redhip") => Ok(Mechanism::Redhip),
+            Some("Cbf") => Ok(Mechanism::Cbf),
+            Some("Phased") => Ok(Mechanism::Phased),
+            Some("Oracle") => Ok(Mechanism::Oracle),
+            _ => Err(format!("not a Mechanism: {v:?}")),
+        }
+    }
+}
+
+impl ToJson for CbfParams {
+    fn to_json(&self) -> Json {
+        json!({
+            "counter_bits": self.counter_bits,
+            "num_hashes": self.num_hashes,
+        })
+    }
+}
+
+impl FromJson for CbfParams {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            counter_bits: v.u64_of("counter_bits")? as u32,
+            num_hashes: v.u64_of("num_hashes")? as u32,
+        })
+    }
+}
+
+impl ToJson for AccountingOptions {
+    fn to_json(&self) -> Json {
+        json!({
+            "charge_fills": self.charge_fills,
+            "charge_writebacks": self.charge_writebacks,
+            "charge_invalidation_probes": self.charge_invalidation_probes,
+        })
+    }
+}
+
+impl FromJson for AccountingOptions {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            charge_fills: v.bool_of("charge_fills")?,
+            charge_writebacks: v.bool_of("charge_writebacks")?,
+            charge_invalidation_probes: v.bool_of("charge_invalidation_probes")?,
+        })
+    }
+}
+
+impl ToJson for SimConfig {
+    fn to_json(&self) -> Json {
+        json!({
+            "platform": self.platform.to_json(),
+            "mechanism": self.mechanism.to_json(),
+            "policy": self.policy.to_json(),
+            "replacement": self.replacement.to_json(),
+            "prefetch": self.prefetch.as_ref().map_or(Json::Null, |p| p.to_json()),
+            "pt_bytes": Json::from(self.pt_bytes),
+            "recalib_period": Json::from(self.recalib_period),
+            "recalib_banks": self.recalib_banks,
+            "cbf": self.cbf.to_json(),
+            "avg_cpi": self.avg_cpi,
+            "refs_per_core": self.refs_per_core,
+            "count_prediction_overhead": self.count_prediction_overhead,
+            "accounting": self.accounting.to_json(),
+            "address_space_bit": self.address_space_bit,
+        })
+    }
+}
+
+impl FromJson for SimConfig {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+            match v.member(key)? {
+                Json::Null => Ok(None),
+                other => other
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("{key}: not a u64")),
+            }
+        };
+        Ok(Self {
+            platform: energy_model::PlatformSpec::from_json(v.member("platform")?)?,
+            mechanism: Mechanism::from_json(v.member("mechanism")?)?,
+            policy: InclusionPolicy::from_json(v.member("policy")?)?,
+            replacement: ReplacementPolicy::from_json(v.member("replacement")?)?,
+            prefetch: match v.member("prefetch")? {
+                Json::Null => None,
+                other => Some(StrideConfig::from_json(other)?),
+            },
+            pt_bytes: opt_u64("pt_bytes")?,
+            recalib_period: opt_u64("recalib_period")?,
+            recalib_banks: v.u64_of("recalib_banks")?,
+            cbf: CbfParams::from_json(v.member("cbf")?)?,
+            avg_cpi: v.f64_of("avg_cpi")?,
+            refs_per_core: v.u64_of("refs_per_core")? as usize,
+            count_prediction_overhead: v.bool_of("count_prediction_overhead")?,
+            accounting: AccountingOptions::from_json(v.member("accounting")?)?,
+            address_space_bit: v.u64_of("address_space_bit")? as u32,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,8 +341,8 @@ mod tests {
     #[test]
     fn config_serializes() {
         let c = SimConfig::new(demo_scale(), Mechanism::Base);
-        let s = serde_json::to_string(&c).unwrap();
-        let back: SimConfig = serde_json::from_str(&s).unwrap();
+        let s = c.to_json().dump();
+        let back = SimConfig::from_json(&minijson::parse(&s).unwrap()).unwrap();
         assert_eq!(back.mechanism, Mechanism::Base);
         assert_eq!(back.refs_per_core, c.refs_per_core);
     }

@@ -1,10 +1,9 @@
 //! Derived metrics: the quantities the paper's figures plot.
 
 use crate::run::RunResult;
-use serde::Serialize;
 
 /// Comparison of a mechanism run against the Base run of the same workload.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Comparison {
     /// Base execution cycles.
     pub base_cycles: u64,

@@ -10,11 +10,7 @@ pub fn render(result: &RunResult) -> String {
     let refs = result.total_refs();
     let _ = writeln!(out, "references simulated : {refs}");
     let _ = writeln!(out, "execution cycles     : {}", result.cycles);
-    let _ = writeln!(
-        out,
-        "cycles / reference   : {:.3}",
-        result.cycles_per_ref()
-    );
+    let _ = writeln!(out, "cycles / reference   : {:.3}", result.cycles_per_ref());
     let _ = writeln!(out, "\nper-level cache behaviour:");
     let _ = writeln!(
         out,
@@ -105,7 +101,11 @@ mod tests {
         cfg.refs_per_core = 5_000;
         cfg.recalib_period = Some(512);
         let t: CoreTrace = Box::new((0..u64::MAX).map(|i| {
-            let a = if i % 3 == 0 { (i * 97) % (1 << 30) } else { (i % 64) * 64 };
+            let a = if i % 3 == 0 {
+                (i * 97) % (1 << 30)
+            } else {
+                (i % 64) * 64
+            };
             TraceRecord::load(0x400, a)
         }));
         let r = run_traces(&cfg, vec![t]);

@@ -6,13 +6,14 @@ use crate::system::System;
 use cache_sim::HierarchyStats;
 use energy_model::EnergyReport;
 use mem_trace::record::TraceRecord;
-use serde::Serialize;
+use minijson::{json, Json, ToJson};
+use telemetry::{NullObserver, SimObserver};
 
 /// A per-core stream of records.
 pub type CoreTrace = Box<dyn Iterator<Item = TraceRecord> + Send>;
 
 /// Everything measured in one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Execution time in cycles (slowest core).
     pub cycles: u64,
@@ -39,14 +40,36 @@ impl RunResult {
         self.hierarchy.levels[level].hit_rate()
     }
 
-    /// Average memory-access cycles per reference (diagnostic).
+    /// Execution cycles per *per-core* reference (diagnostic).
+    ///
+    /// `cycles` is wall-clock execution time — the slowest core's clock —
+    /// so dividing by `total_refs()` would shrink with core count even
+    /// when every core runs at the same speed. This divides by the **mean
+    /// references per core** instead, i.e. it equals
+    /// `cycles * cores / total_refs`: for a symmetric workload it matches
+    /// each core's own cycles-per-reference and stays comparable across
+    /// core counts. Returns 0.0 for an empty run.
     pub fn cycles_per_ref(&self) -> f64 {
         let refs = self.total_refs();
-        if refs == 0 {
-            0.0
-        } else {
-            self.cycles as f64 / (refs as f64 / self.refs_per_core.len() as f64)
+        if refs == 0 || self.refs_per_core.is_empty() {
+            return 0.0;
         }
+        let mean_refs_per_core = refs as f64 / self.refs_per_core.len() as f64;
+        self.cycles as f64 / mean_refs_per_core
+    }
+}
+
+impl ToJson for RunResult {
+    fn to_json(&self) -> Json {
+        json!({
+            "cycles": self.cycles,
+            "refs_per_core": &self.refs_per_core,
+            "cycles_per_ref": self.cycles_per_ref(),
+            "energy": self.energy.to_json(),
+            "hierarchy": self.hierarchy.to_json(),
+            "prediction": self.prediction.to_json(),
+            "prefetch": self.prefetch.to_json(),
+        })
     }
 }
 
@@ -87,12 +110,28 @@ fn core_physical(cfg: &SimConfig, core: usize, addr: u64) -> u64 {
 /// Panics when the number of traces differs from the platform's core count
 /// or the configuration is invalid.
 pub fn run_traces(cfg: &SimConfig, traces: Vec<CoreTrace>) -> RunResult {
+    run_traces_with(cfg, traces, NullObserver).0
+}
+
+/// Like [`run_traces`], but reports telemetry to `obs` while running and
+/// returns it (after its final
+/// [`on_window_close`](SimObserver::on_window_close)) alongside the
+/// result.
+///
+/// # Panics
+/// Panics when the number of traces differs from the platform's core count
+/// or the configuration is invalid.
+pub fn run_traces_with<O: SimObserver>(
+    cfg: &SimConfig,
+    traces: Vec<CoreTrace>,
+    obs: O,
+) -> (RunResult, O) {
     assert_eq!(
         traces.len(),
         cfg.platform.cores,
         "need exactly one trace per core"
     );
-    let mut system = System::new(cfg.clone());
+    let mut system = System::with_observer(cfg.clone(), obs);
     let cores = traces.len();
 
     let mut traces = traces;
@@ -126,14 +165,15 @@ pub fn run_traces(cfg: &SimConfig, traces: Vec<CoreTrace>) -> RunResult {
         }
     }
 
-    RunResult {
+    let result = RunResult {
         cycles: system.cycles(),
         refs_per_core: counts,
         energy: system.finalize_energy(),
         hierarchy: system.hierarchy().stats().clone(),
         prediction: system.prediction_stats(),
         prefetch: system.prefetch_summary(),
-    }
+    };
+    (result, system.into_observer())
 }
 
 /// Runs one trace duplicated onto every core (the paper's single-benchmark
@@ -175,7 +215,16 @@ mod tests {
             } else {
                 0x1000_0000 + (x % (1 << 22)) * 64 // cold 256 MB region
             };
-            TraceRecord::new(0x400 + (i % 7) * 4, addr, if i % 5 == 0 { MemOp::Store } else { MemOp::Load }, 2)
+            TraceRecord::new(
+                0x400 + (i % 7) * 4,
+                addr,
+                if i % 5 == 0 {
+                    MemOp::Store
+                } else {
+                    MemOp::Load
+                },
+                2,
+            )
         }))
     }
 
@@ -231,9 +280,7 @@ mod tests {
     #[test]
     fn early_ending_trace_is_tolerated() {
         let cfg = tiny_cfg(Mechanism::Base);
-        let short: CoreTrace = Box::new(
-            (0..100u64).map(|i| TraceRecord::load(0x400, i * 64)),
-        );
+        let short: CoreTrace = Box::new((0..100u64).map(|i| TraceRecord::load(0x400, i * 64)));
         let r = run_traces(&cfg, vec![short, stream(2)]);
         assert_eq!(r.refs_per_core[0], 100);
         assert_eq!(r.refs_per_core[1], 40_000);
@@ -244,5 +291,58 @@ mod tests {
     fn wrong_trace_count_panics() {
         let cfg = tiny_cfg(Mechanism::Base);
         let _ = run_traces(&cfg, vec![stream(1)]);
+    }
+
+    fn synthetic_result(cycles: u64, refs_per_core: Vec<u64>) -> RunResult {
+        RunResult {
+            cycles,
+            refs_per_core,
+            energy: EnergyReport {
+                dynamic_by_level_j: Vec::new(),
+                predictor_dynamic_j: 0.0,
+                recalibration_j: 0.0,
+                prefetcher_j: 0.0,
+                leakage_by_level_j: Vec::new(),
+                predictor_leakage_j: 0.0,
+                cycles,
+                seconds: 0.0,
+            },
+            hierarchy: HierarchyStats::new(0),
+            prediction: PredictionStats::default(),
+            prefetch: PrefetchSummary::default(),
+        }
+    }
+
+    #[test]
+    fn cycles_per_ref_pins_per_core_average_formula() {
+        // cycles * cores / total_refs: 1000 * 2 / 400 = 5.0, even with
+        // asymmetric per-core reference counts.
+        let r = synthetic_result(1000, vec![100, 300]);
+        assert!((r.cycles_per_ref() - 5.0).abs() < 1e-12);
+        // Single core degenerates to cycles / refs.
+        let r1 = synthetic_result(1000, vec![400]);
+        assert!((r1.cycles_per_ref() - 2.5).abs() < 1e-12);
+        // Doubling the core count at the same wall clock and per-core
+        // reference counts must not change the metric (total refs double,
+        // but so does the core count).
+        let r4 = synthetic_result(1000, vec![100, 300, 100, 300]);
+        assert!((r4.cycles_per_ref() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_per_ref_guards_empty_runs() {
+        assert_eq!(synthetic_result(1000, vec![]).cycles_per_ref(), 0.0);
+        assert_eq!(synthetic_result(1000, vec![0, 0]).cycles_per_ref(), 0.0);
+    }
+
+    #[test]
+    fn run_traces_with_returns_flushed_observer() {
+        use telemetry::WindowedCollector;
+        let cfg = tiny_cfg(Mechanism::Redhip);
+        let collector = WindowedCollector::new(10_000, cfg.platform.levels.len());
+        let (r, obs) = run_traces_with(&cfg, vec![stream(1), stream(2)], collector);
+        let window_refs: u64 = obs.windows().map(|w| w.refs).sum();
+        assert_eq!(window_refs, r.total_refs());
+        assert!(obs.recalibrations().count() > 0);
     }
 }

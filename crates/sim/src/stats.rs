@@ -1,9 +1,9 @@
 //! Prediction and prefetch statistics.
 
-use serde::Serialize;
+use minijson::{json, Json, ToJson};
 
 /// Outcome counters for the presence predictor.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PredictionStats {
     /// Predictor consultations (one per L1 miss).
     pub lookups: u64,
@@ -44,7 +44,7 @@ impl PredictionStats {
 }
 
 /// Outcome counters for the stride prefetcher.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PrefetchSummary {
     /// Candidate addresses produced by the RPT.
     pub issued: u64,
@@ -67,6 +67,31 @@ impl PrefetchSummary {
         } else {
             self.useful as f64 / self.fills as f64
         }
+    }
+}
+
+impl ToJson for PredictionStats {
+    fn to_json(&self) -> Json {
+        json!({
+            "lookups": self.lookups,
+            "bypasses": self.bypasses,
+            "walk_hits": self.walk_hits,
+            "false_positives": self.false_positives,
+            "updates": self.updates,
+            "recalibrations": self.recalibrations,
+        })
+    }
+}
+
+impl ToJson for PrefetchSummary {
+    fn to_json(&self) -> Json {
+        json!({
+            "issued": self.issued,
+            "fills": self.fills,
+            "already_resident": self.already_resident,
+            "predictor_filtered": self.predictor_filtered,
+            "useful": self.useful,
+        })
     }
 }
 

@@ -9,10 +9,11 @@ use energy_model::{EnergyAccount, PredictorSpec};
 use mem_trace::record::TraceRecord;
 use prefetch::StridePrefetcher;
 use redhip::{
-    CbfConfig, CountingBloomFilter, PredictionTable, PredictorBank, Prediction,
-    PresencePredictor, RecalibrationEngine,
+    CbfConfig, CountingBloomFilter, Prediction, PredictionTable, PredictorBank, PresencePredictor,
+    RecalibrationEngine,
 };
 use std::collections::HashSet;
+use telemetry::{NullObserver, SimObserver};
 
 /// Energy of one reference-prediction-table (prefetcher) access, nJ. Not in
 /// Table I; estimated as half the prediction table's access energy (the RPT
@@ -41,8 +42,14 @@ enum PredictorState {
 }
 
 /// A complete simulated machine processing one record at a time.
-pub struct System {
+///
+/// Generic over a [`SimObserver`] for telemetry; the default
+/// [`NullObserver`] keeps the uninstrumented hot path (hook calls inline
+/// to nothing and, where hook arguments cost anything to compute —
+/// per-reference energy deltas — `O::ENABLED` skips the computation).
+pub struct System<O: SimObserver = NullObserver> {
     cfg: SimConfig,
+    obs: O,
     hierarchy: DeepHierarchy,
     predictor: PredictorState,
     prefetchers: Vec<StridePrefetcher>,
@@ -63,11 +70,21 @@ pub struct System {
 }
 
 impl System {
-    /// Builds a system for `cfg`.
+    /// Builds a system for `cfg` with the no-op [`NullObserver`].
     ///
     /// # Panics
     /// Panics when `cfg.validate()` fails.
     pub fn new(cfg: SimConfig) -> Self {
+        Self::with_observer(cfg, NullObserver)
+    }
+}
+
+impl<O: SimObserver> System<O> {
+    /// Builds a system for `cfg` that reports telemetry to `obs`.
+    ///
+    /// # Panics
+    /// Panics when `cfg.validate()` fails.
+    pub fn with_observer(cfg: SimConfig, obs: O) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid SimConfig: {e}");
         }
@@ -133,9 +150,7 @@ impl System {
                 ));
                 PredictorState::Single(Box::new(table))
             }
-            (Mechanism::Redhip, InclusionPolicy::Exclusive) => {
-                Self::build_multi(&cfg, &pt_spec)
-            }
+            (Mechanism::Redhip, InclusionPolicy::Exclusive) => Self::build_multi(&cfg, &pt_spec),
         };
 
         let prefetchers = match cfg.prefetch {
@@ -145,6 +160,7 @@ impl System {
 
         let levels = p.levels.len();
         Self {
+            obs,
             hierarchy,
             predictor,
             prefetchers,
@@ -209,6 +225,13 @@ impl System {
 
     /// Processes one trace record on `core`.
     pub fn step(&mut self, core: usize, rec: &TraceRecord) {
+        // Energy delta for telemetry: snapshot before any charging. Gated
+        // on `O::ENABLED` so the default path never sums the accumulators.
+        let energy_before = if O::ENABLED {
+            self.energy.total_dynamic_nj()
+        } else {
+            0.0
+        };
         let block = rec.addr >> self.block_bits;
         let store = rec.op.is_store();
         self.clocks[core] += f64::from(rec.gap) * self.cfg.avg_cpi;
@@ -224,6 +247,17 @@ impl System {
         self.hierarchy.absorb_stats(&t);
         let latency = self.price_traversal(&t, /* charge_latency = */ true);
         self.clocks[core] += latency as f64;
+        if O::ENABLED {
+            // Mirror exactly what `absorb_stats` aggregates (demand
+            // traversal only), so summed window counters reproduce
+            // `HierarchyStats` without drift.
+            for &(lvl, hit) in &t.lookups {
+                self.obs.on_level_access(core, lvl, hit);
+            }
+            for &lvl in &t.fills {
+                self.obs.on_fill(core, lvl);
+            }
+        }
         self.t = t;
 
         // Usefulness: a demand touch consumes the prefetched marker.
@@ -233,6 +267,14 @@ impl System {
 
         if !self.prefetchers.is_empty() {
             self.do_prefetch(core, rec);
+        }
+
+        // The reference is complete here; recalibration (below) happens
+        // *between* references, so its energy rides on the recalibration
+        // marker rather than this reference's delta.
+        if O::ENABLED {
+            let delta = self.energy.total_dynamic_nj() - energy_before;
+            self.obs.on_ref(core, latency, delta);
         }
 
         if self.recalibration_due() {
@@ -251,8 +293,10 @@ impl System {
                     let hit = self.walk(core, block, store, t);
                     debug_assert!(hit, "oracle: inclusive LLC residency implies on-chip hit");
                     self.pred_stats.walk_hits += 1;
+                    self.obs.on_walk_hit(core);
                 } else {
                     self.pred_stats.bypasses += 1;
+                    self.obs.on_bypass(core);
                     self.hierarchy.fill_from_memory(core, block, store, t);
                 }
             }
@@ -271,13 +315,16 @@ impl System {
                                 "false negative: bypassed a resident block"
                             );
                             self.pred_stats.bypasses += 1;
+                            self.obs.on_bypass(core);
                             self.hierarchy.fill_from_memory(core, block, store, t);
                         }
                         Prediction::MaybePresent => {
                             if self.walk(core, block, store, t) {
                                 self.pred_stats.walk_hits += 1;
+                                self.obs.on_walk_hit(core);
                             } else {
                                 self.pred_stats.false_positives += 1;
+                                self.obs.on_false_positive(core);
                             }
                         }
                     }
@@ -310,11 +357,14 @@ impl System {
                     }
                     if hit {
                         self.pred_stats.walk_hits += 1;
+                        self.obs.on_walk_hit(core);
                     } else {
                         if t.lookups.len() == 1 {
                             self.pred_stats.bypasses += 1;
+                            self.obs.on_bypass(core);
                         } else {
                             self.pred_stats.false_positives += 1;
+                            self.obs.on_false_positive(core);
                         }
                         self.hierarchy.fill_from_memory(core, block, store, t);
                     }
@@ -408,9 +458,7 @@ impl System {
             (PredictorState::Single(p), Some(period)) if p.supports_recalibration() => {
                 self.l1_misses_since_recalib >= period
             }
-            (PredictorState::Multi { .. }, Some(period)) => {
-                self.l1_misses_since_recalib >= period
-            }
+            (PredictorState::Multi { .. }, Some(period)) => self.l1_misses_since_recalib >= period,
             _ => false,
         }
     }
@@ -421,6 +469,10 @@ impl System {
         self.l1_misses_since_recalib = 0;
         self.pred_stats.recalibrations += 1;
         let overhead = self.cfg.count_prediction_overhead;
+        // Overheads actually charged, reported on the telemetry marker
+        // (they stay zero when overhead accounting is off).
+        let mut charged_nj = 0.0;
+        let mut charged_cycles = 0u64;
         match &mut self.predictor {
             PredictorState::Single(p) => {
                 p.recalibrate(&mut self.hierarchy.llc().resident_blocks());
@@ -431,12 +483,12 @@ impl System {
                         for c in self.clocks.iter_mut() {
                             *c += cost.cycles as f64;
                         }
+                        charged_nj = cost.energy_nj;
+                        charged_cycles = cost.cycles;
                     }
                 }
             }
-            PredictorState::Multi {
-                bank, engines, ..
-            } => {
+            PredictorState::Multi { bank, engines, .. } => {
                 let cores = self.cfg.platform.cores;
                 let levels = self.cfg.platform.levels.len();
                 let mut max_cycles = 0u64;
@@ -446,7 +498,9 @@ impl System {
                         let idx = (lvl - 1) * cores + core;
                         bank.recalibrate(
                             idx,
-                            self.hierarchy.private_cache(core, lvl as u8).resident_blocks(),
+                            self.hierarchy
+                                .private_cache(core, lvl as u8)
+                                .resident_blocks(),
                         );
                         let cost = engines[idx].cost();
                         max_cycles = max_cycles.max(cost.cycles);
@@ -463,10 +517,13 @@ impl System {
                     for c in self.clocks.iter_mut() {
                         *c += max_cycles as f64;
                     }
+                    charged_nj = total_nj;
+                    charged_cycles = max_cycles;
                 }
             }
             _ => {}
         }
+        self.obs.on_recalibration(charged_nj, charged_cycles);
     }
 
     /// Prices a traversal's events; returns the serialized lookup latency.
@@ -616,5 +673,23 @@ impl System {
             self.cycles(),
             self.cfg.mechanism.has_predictor(),
         )
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably (e.g. to flush a heartbeat).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Ends observation: delivers the final
+    /// [`on_window_close`](SimObserver::on_window_close) (flushing partial
+    /// windows) and returns the observer.
+    pub fn into_observer(mut self) -> O {
+        self.obs.on_window_close();
+        self.obs
     }
 }

@@ -1,0 +1,232 @@
+//! Simulator instrumentation: observer hooks, windowed time-series
+//! metrics, and a run heartbeat.
+//!
+//! The paper's central claim is *temporal* — the 1-bit prediction table's
+//! accuracy decays between recalibrations and snaps back at each
+//! recalibration event (Figs. 9–12) — yet end-of-run aggregates cannot show
+//! that dynamic. This crate provides the observation layer:
+//!
+//! * [`SimObserver`] — a statically-dispatched hook trait the simulator
+//!   calls on every reference, array lookup, predictor outcome, fill, and
+//!   recalibration. All methods have empty default bodies.
+//! * [`NullObserver`] — the default observer. Its hooks are empty and its
+//!   [`SimObserver::ENABLED`] constant is `false`, so the simulator skips
+//!   computing hook arguments entirely and the instrumented hot path
+//!   compiles down to the uninstrumented one.
+//! * [`WindowedCollector`] — closes a window every N references per core
+//!   and emits a [`WindowSample`]: per-level hit rates, predictor
+//!   coverage/accuracy/false-positive rate, bypass rate, dynamic energy and
+//!   access cycles in the window, and a log2-bucketed latency histogram.
+//!   Recalibration events become [`RecalibMarker`]s, interleaved with the
+//!   samples in event order. [`WindowedCollector::to_jsonl`] serializes the
+//!   whole stream as JSON Lines.
+//! * [`Heartbeat`] / [`HeartbeatObserver`] — rate-limited stderr progress
+//!   (units/s, % complete, ETA) for long runs; shared by `redhip-sim` and
+//!   the `figures` harness.
+//! * [`Tee`] — forwards every hook to two observers (e.g. a collector plus
+//!   a heartbeat).
+
+mod heartbeat;
+mod window;
+
+pub use heartbeat::{Heartbeat, HeartbeatObserver};
+pub use window::{RecalibMarker, TelemetryRecord, WindowSample, WindowedCollector};
+
+/// Hooks the simulator invokes while processing references.
+///
+/// Static dispatch: the simulator is generic over its observer, so with
+/// [`NullObserver`] every call site inlines to nothing. Implementations
+/// override only the hooks they care about.
+///
+/// # Hook timing
+///
+/// For one trace record the simulator emits, in order: at most one
+/// predictor outcome ([`on_bypass`](Self::on_bypass) /
+/// [`on_walk_hit`](Self::on_walk_hit) /
+/// [`on_false_positive`](Self::on_false_positive)), then one
+/// [`on_level_access`](Self::on_level_access) per array lookup of the
+/// demand traversal (L1 first) and one [`on_fill`](Self::on_fill) per
+/// demand fill, then exactly one [`on_ref`](Self::on_ref).
+/// A recalibration triggered by that reference emits
+/// [`on_recalibration`](Self::on_recalibration) *after* its `on_ref`, so
+/// windowed collectors attribute the event to the boundary between
+/// references — the paper's semantics (recalibration happens between
+/// accesses, not during one).
+pub trait SimObserver {
+    /// `false` only for observers whose hooks are all no-ops. The simulator
+    /// consults this to skip computing hook arguments (per-reference energy
+    /// deltas) on the default path.
+    const ENABLED: bool = true;
+
+    /// One trace record fully processed on `core`. `access_cycles` is the
+    /// serialized hierarchy lookup-chain latency of the reference
+    /// (excluding compute gaps, predictor wire delay, and recalibration
+    /// stalls); `energy_nj` is the total dynamic energy the reference added
+    /// (demand + predictor + prefetch), excluding recalibration energy,
+    /// which is reported by [`on_recalibration`](Self::on_recalibration).
+    fn on_ref(&mut self, core: usize, access_cycles: u64, energy_nj: f64) {
+        let _ = (core, access_cycles, energy_nj);
+    }
+
+    /// One demand array lookup against cache `level` (0 = L1) issued by
+    /// `core`. Shared-LLC lookups are attributed to the issuing core.
+    fn on_level_access(&mut self, core: usize, level: u8, hit: bool) {
+        let _ = (core, level, hit);
+    }
+
+    /// Predictor said *absent*; the lower hierarchy was bypassed.
+    fn on_bypass(&mut self, core: usize) {
+        let _ = core;
+    }
+
+    /// Predictor said *maybe present* and the walk hit on chip.
+    fn on_walk_hit(&mut self, core: usize) {
+        let _ = core;
+    }
+
+    /// Predictor said *maybe present* but the walk missed everywhere.
+    fn on_false_positive(&mut self, core: usize) {
+        let _ = core;
+    }
+
+    /// A demand line fill into cache `level` on behalf of `core`.
+    fn on_fill(&mut self, core: usize, level: u8) {
+        let _ = (core, level);
+    }
+
+    /// The predictor table(s) were rebuilt from cache contents.
+    /// `energy_nj` / `stall_cycles` are the overheads actually charged
+    /// (zero when `count_prediction_overhead` is off).
+    fn on_recalibration(&mut self, energy_nj: f64, stall_cycles: u64) {
+        let _ = (energy_nj, stall_cycles);
+    }
+
+    /// The run ended: force-close any partially filled windows and flush
+    /// buffered output.
+    fn on_window_close(&mut self) {}
+}
+
+/// The default do-nothing observer; compiles away entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {
+    const ENABLED: bool = false;
+}
+
+/// Forwards every hook to both `a` and `b`.
+#[derive(Debug, Clone)]
+pub struct Tee<A, B> {
+    /// First receiver (hooks are delivered to it first).
+    pub a: A,
+    /// Second receiver.
+    pub b: B,
+}
+
+impl<A: SimObserver, B: SimObserver> Tee<A, B> {
+    /// Combines two observers.
+    pub fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+}
+
+impl<A: SimObserver, B: SimObserver> SimObserver for Tee<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn on_ref(&mut self, core: usize, access_cycles: u64, energy_nj: f64) {
+        self.a.on_ref(core, access_cycles, energy_nj);
+        self.b.on_ref(core, access_cycles, energy_nj);
+    }
+
+    fn on_level_access(&mut self, core: usize, level: u8, hit: bool) {
+        self.a.on_level_access(core, level, hit);
+        self.b.on_level_access(core, level, hit);
+    }
+
+    fn on_bypass(&mut self, core: usize) {
+        self.a.on_bypass(core);
+        self.b.on_bypass(core);
+    }
+
+    fn on_walk_hit(&mut self, core: usize) {
+        self.a.on_walk_hit(core);
+        self.b.on_walk_hit(core);
+    }
+
+    fn on_false_positive(&mut self, core: usize) {
+        self.a.on_false_positive(core);
+        self.b.on_false_positive(core);
+    }
+
+    fn on_fill(&mut self, core: usize, level: u8) {
+        self.a.on_fill(core, level);
+        self.b.on_fill(core, level);
+    }
+
+    fn on_recalibration(&mut self, energy_nj: f64, stall_cycles: u64) {
+        self.a.on_recalibration(energy_nj, stall_cycles);
+        self.b.on_recalibration(energy_nj, stall_cycles);
+    }
+
+    fn on_window_close(&mut self) {
+        self.a.on_window_close();
+        self.b.on_window_close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counting {
+        refs: u64,
+        accesses: u64,
+        closes: u64,
+    }
+
+    impl SimObserver for Counting {
+        fn on_ref(&mut self, _c: usize, _l: u64, _e: f64) {
+            self.refs += 1;
+        }
+        fn on_level_access(&mut self, _c: usize, _l: u8, _h: bool) {
+            self.accesses += 1;
+        }
+        fn on_window_close(&mut self) {
+            self.closes += 1;
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the consts ARE the contract
+    fn null_observer_is_disabled() {
+        assert!(!NullObserver::ENABLED);
+        // And callable: the default bodies do nothing.
+        let mut n = NullObserver;
+        n.on_ref(0, 1, 2.0);
+        n.on_recalibration(0.0, 0);
+        n.on_window_close();
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        let mut t = Tee::new(Counting::default(), Counting::default());
+        t.on_ref(0, 4, 0.5);
+        t.on_level_access(0, 0, true);
+        t.on_level_access(0, 1, false);
+        t.on_window_close();
+        assert_eq!(t.a.refs, 1);
+        assert_eq!(t.b.refs, 1);
+        assert_eq!(t.a.accesses, 2);
+        assert_eq!(t.b.accesses, 2);
+        assert_eq!(t.a.closes, 1);
+        assert_eq!(t.b.closes, 1);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the consts ARE the contract
+    fn tee_enabled_is_or_of_parts() {
+        assert!(<Tee<Counting, NullObserver> as SimObserver>::ENABLED);
+        assert!(!<Tee<NullObserver, NullObserver> as SimObserver>::ENABLED);
+    }
+}

@@ -10,8 +10,7 @@
 use crate::registry::DynTrace;
 use crate::scale::Scale;
 use mem_trace::record::{MemOp, TraceRecord};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mem_trace::Rng64;
 
 const XADJ_BASE: u64 = 0x09_0000_0000;
 const ADJ_BASE: u64 = 0x09_4000_0000;
@@ -39,12 +38,12 @@ impl CsrGraph {
     pub fn rmat(log_n: u32, edge_factor: u64, seed: u64) -> Self {
         let n = 1u64 << log_n;
         let m = n * edge_factor;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m as usize);
         for _ in 0..m {
             let (mut u, mut v) = (0u64, 0u64);
             for _ in 0..log_n {
-                let r: f64 = rng.gen();
+                let r: f64 = rng.gen_f64();
                 let (du, dv) = if r < RMAT_A {
                     (0, 0)
                 } else if r < RMAT_A + RMAT_B {
@@ -97,7 +96,7 @@ pub struct BfsTrace {
     next: Vec<u32>,
     fi: usize,
     level: u32,
-    rng: StdRng,
+    rng: Rng64,
     buf: Vec<TraceRecord>,
     pos: usize,
 }
@@ -113,7 +112,7 @@ impl BfsTrace {
             next: Vec::new(),
             fi: 0,
             level: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
             buf: Vec::with_capacity(512),
             pos: 0,
         };
@@ -126,7 +125,7 @@ impl BfsTrace {
         // Pick a root with outgoing edges so the search is non-trivial.
         let n = self.graph.n();
         let root = loop {
-            let r = self.rng.gen_range(0..n);
+            let r = self.rng.gen_index(n);
             if self.graph.xadj[r + 1] > self.graph.xadj[r] {
                 break r;
             }
@@ -177,8 +176,12 @@ impl BfsTrace {
             // Stream the adjacency array; test the visited *bitmap* (as the
             // Graph500 reference implementations do — n/8 bytes, so the hot
             // search's bitmap largely fits the upper caches).
-            self.buf
-                .push(TraceRecord::new(0x900c, ADJ_BASE + e as u64 * 4, MemOp::Load, 1));
+            self.buf.push(TraceRecord::new(
+                0x900c,
+                ADJ_BASE + e as u64 * 4,
+                MemOp::Load,
+                1,
+            ));
             self.buf.push(TraceRecord::new(
                 0x9010,
                 VISITED_BASE + u64::from(v) / 8,

@@ -10,8 +10,7 @@ use crate::registry::DynTrace;
 use crate::scale::Scale;
 use mem_trace::record::{MemOp, TraceRecord};
 use mem_trace::zipf::Zipf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mem_trace::Rng64;
 
 const RATINGS_BASE: u64 = 0x0a_0000_0000;
 const USER_BASE: u64 = 0x0a_4000_0000;
@@ -26,7 +25,7 @@ pub const ROW_BYTES: u64 = FACTORS * 8;
 pub struct PmfTrace {
     users: u64,
     item_zipf: Zipf,
-    rng: StdRng,
+    rng: Rng64,
     rating_idx: u64,
     buf: Vec<TraceRecord>,
     pos: usize,
@@ -38,7 +37,7 @@ impl PmfTrace {
         Self {
             users,
             item_zipf: Zipf::new(items, 1.05),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
             rating_idx: 0,
             buf: Vec::with_capacity(64),
             pos: 0,
@@ -48,7 +47,7 @@ impl PmfTrace {
     /// One SGD step: read the rating, dot-product both rows, write both
     /// rows' updated factors.
     fn step(&mut self) {
-        let u = self.rng.gen_range(0..self.users);
+        let u = self.rng.gen_below(self.users);
         let i = self.item_zipf.sample(&mut self.rng) - 1;
         let user_row = USER_BASE + u * ROW_BYTES;
         let item_row = ITEM_BASE + i * ROW_BYTES;
@@ -70,10 +69,18 @@ impl PmfTrace {
         // Gradient update: write the first element of each cache line of
         // both rows (the whole line is dirtied either way).
         for line in 0..(ROW_BYTES / 64).max(1) {
-            self.buf
-                .push(TraceRecord::new(0xa020, user_row + line * 64, MemOp::Store, 3));
-            self.buf
-                .push(TraceRecord::new(0xa024, item_row + line * 64, MemOp::Store, 3));
+            self.buf.push(TraceRecord::new(
+                0xa020,
+                user_row + line * 64,
+                MemOp::Store,
+                3,
+            ));
+            self.buf.push(TraceRecord::new(
+                0xa024,
+                item_row + line * 64,
+                MemOp::Store,
+                3,
+            ));
         }
     }
 }

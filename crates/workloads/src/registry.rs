@@ -3,14 +3,13 @@
 use crate::scale::Scale;
 use crate::{graph500, pmf, spec};
 use mem_trace::record::TraceRecord;
-use serde::{Deserialize, Serialize};
 
 /// A boxed trace generator handed to the simulator, one per core.
 pub type DynTrace = Box<dyn Iterator<Item = TraceRecord> + Send>;
 
 /// The paper's workloads (Figures 6–15 x-axis, plus `average` computed by
 /// the harness).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// SPEC CPU2006 410.bwaves.
     Bwaves,
@@ -170,7 +169,10 @@ mod tests {
         // Core i of mix must produce the same stream as SPEC[i] core i.
         for core in 0..8 {
             let mix: Vec<_> = Benchmark::Mix.trace(core, Scale::Smoke).take(20).collect();
-            let direct: Vec<_> = Benchmark::SPEC[core].trace(core, Scale::Smoke).take(20).collect();
+            let direct: Vec<_> = Benchmark::SPEC[core]
+                .trace(core, Scale::Smoke)
+                .take(20)
+                .collect();
             assert_eq!(mix, direct, "core {core}");
         }
     }

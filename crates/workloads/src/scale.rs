@@ -1,10 +1,8 @@
 //! Workload scale presets, matched to the platform presets in
 //! `energy-model`.
 
-use serde::{Deserialize, Serialize};
-
 /// How big to make each workload's data structures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Tiny footprints for unit/integration tests (seconds of wall time).
     Smoke,

@@ -21,11 +21,13 @@ pub fn trace(core: usize, scale: Scale) -> DynTrace {
     // State array Q: element-wise read sweep.
     let q = SequentialStream::new(Region::new(BASE, big), 8, 0x1000, 0, 2).with_repeats(3);
     // Residual array R: read-modify-write sweep.
-    let r = SequentialStream::new(Region::new(BASE + 0x1_0000_0000, big), 8, 0x1040, 3, 2).with_repeats(2);
+    let r = SequentialStream::new(Region::new(BASE + 0x1_0000_0000, big), 8, 0x1040, 3, 2)
+        .with_repeats(2);
     // Jacobian blocks: block-strided (one touch per cache line).
     let jac = SequentialStream::new(Region::new(BASE + 0x2_0000_0000, coeff), 64, 0x1080, 0, 1);
     // Hot solver block: small, reused every iteration.
-    let blk = SequentialStream::new(Region::new(BASE + 0x3_0000_0000, hot), 8, 0x10c0, 6, 2).with_repeats(3);
+    let blk = SequentialStream::new(Region::new(BASE + 0x3_0000_0000, hot), 8, 0x10c0, 6, 2)
+        .with_repeats(3);
     // Boundary/coefficient hot set: skewed reuse over an LLC-scale region
     // (hot lines resident in the lower levels, the tail missing) — the
     // per-block solver revisits boundary blocks far more often than bulk.
@@ -43,7 +45,13 @@ pub fn trace(core: usize, scale: Scale) -> DynTrace {
     );
 
     boxed(WeightedMix::new(
-        vec![Box::new(q), Box::new(r), Box::new(jac), Box::new(blk), Box::new(work)],
+        vec![
+            Box::new(q),
+            Box::new(r),
+            Box::new(jac),
+            Box::new(blk),
+            Box::new(work),
+        ],
         &[0.28, 0.22, 0.05, 0.30, 0.15],
         seed_for(0xb3a7e5, core),
     ))

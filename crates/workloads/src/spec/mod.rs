@@ -40,7 +40,6 @@ pub(crate) mod testutil {
     use crate::scale::Scale;
     use mem_trace::stats::TraceStats;
 
-
     /// Asserts the properties every workload needs for the evaluation: a
     /// growing footprint (full-run footprints exceed the LLC; sweep-style
     /// kernels only reveal theirs over millions of references, so the

@@ -40,7 +40,13 @@ fn main() {
     let mut streams: Vec<Box<dyn Iterator<Item = TraceRecord> + Send>> = vec![
         Box::new(WeightedMix::new(
             vec![
-                Box::new(SequentialStream::new(Region::new(0, 4 << 20), 8, 0x100, 4, 2)),
+                Box::new(SequentialStream::new(
+                    Region::new(0, 4 << 20),
+                    8,
+                    0x100,
+                    4,
+                    2,
+                )),
                 Box::new(PointerChase::new(1 << 32, 50_000, 64, 7, 0x200, 2)),
             ],
             &[0.6, 0.4],

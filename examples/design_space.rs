@@ -11,7 +11,11 @@
 use redhip_repro::prelude::*;
 
 fn run(pt_bytes: Option<u64>, period: Option<u64>, refs: usize, base: bool) -> RunResult {
-    let mech = if base { Mechanism::Base } else { Mechanism::Redhip };
+    let mech = if base {
+        Mechanism::Base
+    } else {
+        Mechanism::Redhip
+    };
     let mut cfg = SimConfig::new(demo_scale(), mech);
     cfg.refs_per_core = refs;
     cfg.avg_cpi = Benchmark::Astar.avg_cpi();

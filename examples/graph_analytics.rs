@@ -32,10 +32,22 @@ fn main() {
     // Characterize the BFS address stream itself.
     let stats = TraceStats::measure(Benchmark::Blas.trace(0, Scale::Demo), 400_000);
     println!("\nBFS kernel stream (400k refs of rank 0):");
-    println!("  footprint:            {:.1} MB", stats.footprint_bytes() as f64 / 1e6);
-    println!("  store fraction:       {:.1}%", stats.store_fraction() * 100.0);
-    println!("  stride-predictable:   {:.1}%", stats.stride_predictability() * 100.0);
-    println!("  short-range reuse:    {:.1}%", stats.short_reuse_fraction() * 100.0);
+    println!(
+        "  footprint:            {:.1} MB",
+        stats.footprint_bytes() as f64 / 1e6
+    );
+    println!(
+        "  store fraction:       {:.1}%",
+        stats.store_fraction() * 100.0
+    );
+    println!(
+        "  stride-predictable:   {:.1}%",
+        stats.stride_predictability() * 100.0
+    );
+    println!(
+        "  short-range reuse:    {:.1}%",
+        stats.short_reuse_fraction() * 100.0
+    );
 
     // Run 8 BFS ranks under Base and ReDHiP.
     let refs = 150_000;

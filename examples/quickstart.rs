@@ -31,7 +31,10 @@ fn main() {
     for lvl in 0..4 {
         println!("L{} hit rate: {:.1}%", lvl + 1, base.hit_rate(lvl) * 100.0);
     }
-    println!("dynamic energy: {:.3} mJ", base.energy.total_dynamic_j() * 1e3);
+    println!(
+        "dynamic energy: {:.3} mJ",
+        base.energy.total_dynamic_j() * 1e3
+    );
 
     println!("\n--- ReDHiP ---");
     println!("cycles: {}", redhip.cycles);

@@ -35,16 +35,28 @@ fn main() {
     // 3. Characterize the stream.
     let stats = TraceStats::measure(trace.iter(), trace.len());
     println!("\nstream character:");
-    println!("  footprint          : {:.2} MB", stats.footprint_bytes() as f64 / 1e6);
-    println!("  store fraction     : {:.1}%", stats.store_fraction() * 100.0);
-    println!("  stride predictable : {:.1}%", stats.stride_predictability() * 100.0);
+    println!(
+        "  footprint          : {:.2} MB",
+        stats.footprint_bytes() as f64 / 1e6
+    );
+    println!(
+        "  store fraction     : {:.1}%",
+        stats.store_fraction() * 100.0
+    );
+    println!(
+        "  stride predictable : {:.1}%",
+        stats.stride_predictability() * 100.0
+    );
     println!("  distinct PCs       : {}", stats.distinct_pcs);
 
     // 4. Exact reuse-distance analysis → LRU hit rates at the demo-scale
     //    cache sizes (fully-associative bound).
     let hist = ReuseHistogram::measure(trace.iter(), trace.len());
     println!("\nreuse-distance profile:");
-    println!("  compulsory misses  : {:.1}%", hist.cold_fraction() * 100.0);
+    println!(
+        "  compulsory misses  : {:.1}%",
+        hist.cold_fraction() * 100.0
+    );
     match hist.median_distance_bound() {
         Some(0) => println!("  median reuse dist  : 0 (same-line reuse dominates)"),
         Some(m) => println!("  median reuse dist  : < {m} blocks"),
@@ -56,10 +68,7 @@ fn main() {
         ("L2-sized (256 KB)", 4096),
         ("L3-sized (512 KB)", 8192),
     ] {
-        println!(
-            "    {label}: {:.1}%",
-            hist.lru_hit_rate(lines) * 100.0
-        );
+        println!("    {label}: {:.1}%", hist.lru_hit_rate(lines) * 100.0);
     }
     println!(
         "\nthese bounds are what the workload tests assert against: a generator whose\n\

@@ -42,10 +42,12 @@ pub mod prelude {
     pub use mem_trace::{MemOp, TraceRecord, TraceSource, TraceSourceExt};
     pub use prefetch::{StrideConfig, StridePrefetcher};
     pub use redhip::{
-        CountingBloomFilter, PredictionTable, Prediction, PresencePredictor, RecalibrationEngine,
+        CountingBloomFilter, Prediction, PredictionTable, PresencePredictor, RecalibrationEngine,
     };
     pub use sim::{
-        run_duplicated, run_traces, Comparison, CoreTrace, Mechanism, RunResult, SimConfig,
+        run_duplicated, run_traces, run_traces_with, Comparison, CoreTrace, Heartbeat,
+        HeartbeatObserver, Mechanism, NullObserver, RecalibMarker, RunResult, SimConfig,
+        SimObserver, Tee, TelemetryRecord, WindowSample, WindowedCollector,
     };
     pub use workloads::{Benchmark, Scale};
 }

@@ -129,5 +129,8 @@ fn tiny_saturating_cbf_stays_safe_under_pressure() {
     });
     let (_, misses) = drive(&mut cbf, Benchmark::Blas, None, 60_000);
     assert!(misses > 0);
-    assert!(cbf.disabled_counters() > 0, "pressure should overflow counters");
+    assert!(
+        cbf.disabled_counters() > 0,
+        "pressure should overflow counters"
+    );
 }

@@ -18,7 +18,12 @@ fn run(mechanism: Mechanism, benchmark: Benchmark) -> RunResult {
 
 #[test]
 fn redhip_saves_dynamic_energy_on_every_ablation_workload() {
-    for b in [Benchmark::Mcf, Benchmark::Lbm, Benchmark::Astar, Benchmark::Blas] {
+    for b in [
+        Benchmark::Mcf,
+        Benchmark::Lbm,
+        Benchmark::Astar,
+        Benchmark::Blas,
+    ] {
         let base = run(Mechanism::Base, b);
         let red = run(Mechanism::Redhip, b);
         let c = Comparison::new(&base, &red);
@@ -76,7 +81,10 @@ fn mechanisms_agree_on_cache_contents() {
     // shifts reorder the shared-LLC contention slightly).
     let base = run(Mechanism::Base, Benchmark::Pmf);
     let ora = run(Mechanism::Oracle, Benchmark::Pmf);
-    let (a, b) = (base.hierarchy.memory_fetches as f64, ora.hierarchy.memory_fetches as f64);
+    let (a, b) = (
+        base.hierarchy.memory_fetches as f64,
+        ora.hierarchy.memory_fetches as f64,
+    );
     assert!(
         (a - b).abs() / a.max(1.0) < 0.02,
         "bypassing must not change which requests go to memory: {a} vs {b}"
@@ -126,12 +134,22 @@ fn recalibration_stalls_are_visible_in_cycles() {
 fn duplicated_traces_compete_in_the_shared_llc() {
     // One core running alone must see a better LLC hit rate than eight
     // copies competing (the multi-programming pressure the paper studies).
+    // Needs a longer window than the other tests: astar only develops LLC
+    // reuse once its random walk has revisited the graph region.
+    const LLC_REFS: usize = 100_000;
     let mut solo_platform = demo_scale();
     solo_platform.cores = 1;
     let mut cfg = SimConfig::new(solo_platform, Mechanism::Base);
-    cfg.refs_per_core = REFS;
+    cfg.refs_per_core = LLC_REFS;
+    cfg.avg_cpi = Benchmark::Astar.avg_cpi();
     let solo = run_traces(&cfg, vec![Benchmark::Astar.trace(0, Scale::Smoke)]);
-    let eight = run(Mechanism::Base, Benchmark::Astar);
+    let mut cfg8 = SimConfig::new(demo_scale(), Mechanism::Base);
+    cfg8.refs_per_core = LLC_REFS;
+    cfg8.avg_cpi = Benchmark::Astar.avg_cpi();
+    let traces = (0..cfg8.platform.cores)
+        .map(|core| Benchmark::Astar.trace(core, Scale::Smoke))
+        .collect();
+    let eight = run_traces(&cfg8, traces);
     assert!(
         solo.hit_rate(3) >= eight.hit_rate(3),
         "solo L4 {:.3} vs shared {:.3}",

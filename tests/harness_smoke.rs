@@ -24,7 +24,11 @@ fn figures_6_through_10_from_one_matrix() {
         figures::fig10(&m),
     ];
     for f in &outs {
-        assert!(f.text.contains("average"), "{} lacks an average row", f.name);
+        assert!(
+            f.text.contains("average"),
+            "{} lacks an average row",
+            f.name
+        );
         assert!(f.json.is_object(), "{} json malformed", f.name);
         // Every workload appears in the rendered table.
         for w in &s.workloads {

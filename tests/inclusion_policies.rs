@@ -84,9 +84,7 @@ fn all_base_policies_preserve_invariants_on_every_workload() {
             cfg.policy = policy;
             cfg.refs_per_core = 2_000;
             let mut system = System::new(cfg);
-            let mut traces: Vec<_> = (0..8)
-                .map(|c| benchmark.trace(c, Scale::Smoke))
-                .collect();
+            let mut traces: Vec<_> = (0..8).map(|c| benchmark.trace(c, Scale::Smoke)).collect();
             for step in 0..16_000 {
                 let core = step % 8;
                 let mut rec = traces[core].next().expect("infinite");
