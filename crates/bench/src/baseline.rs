@@ -1,0 +1,187 @@
+//! Simulator-throughput baselines: measured refs/s per mechanism, persisted
+//! as JSON so the repo carries a bench trajectory across PRs.
+//!
+//! `redhip-sim --bench-json FILE` writes one snapshot (see [`measure`]);
+//! committed snapshots (`BENCH_baseline.json`, `BENCH_pr5.json`, ...) pin
+//! the numbers a PR claims. `redhip-sim --bench-compare OLD NEW` renders the
+//! ratio table between two snapshots (see [`compare`]).
+//!
+//! The measured configuration mirrors `benches/sim_throughput.rs`: the
+//! demo-scale platform, 8 cores, smoke-scale traces of one benchmark, and
+//! the five compared mechanisms. Wall-clock includes trace generation
+//! (~3 ns/ref, i.e. noise next to the simulator itself).
+
+use minijson::{json, Json};
+use sim::{run_traces, CoreTrace, Mechanism, SimConfig};
+use std::time::Instant;
+use workloads::{Benchmark, Scale};
+
+/// Schema tag written into every snapshot.
+pub const SCHEMA: &str = "redhip-bench/v1";
+
+/// The five mechanisms measured, in report order.
+pub const MECHANISMS: [Mechanism; 5] = [
+    Mechanism::Base,
+    Mechanism::Redhip,
+    Mechanism::Cbf,
+    Mechanism::Phased,
+    Mechanism::Oracle,
+];
+
+/// Knobs for one measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOptions {
+    /// References per core per run (the sim_throughput default is 5000).
+    pub refs_per_core: usize,
+    /// Timed runs per mechanism; the fastest is reported. 1 = smoke mode.
+    pub samples: usize,
+    /// Workload generating the trace.
+    pub benchmark: Benchmark,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            refs_per_core: 5_000,
+            samples: 3,
+            benchmark: Benchmark::Mcf,
+        }
+    }
+}
+
+fn config(mechanism: Mechanism, refs_per_core: usize) -> SimConfig {
+    let mut cfg = SimConfig::new(energy_model::presets::demo_scale(), mechanism);
+    cfg.refs_per_core = refs_per_core;
+    cfg.recalib_period = Some(8_192);
+    cfg
+}
+
+/// Measures refs/s for every mechanism and returns the snapshot document.
+pub fn measure(opts: &BenchOptions) -> Json {
+    let cores = config(Mechanism::Base, opts.refs_per_core).platform.cores;
+    let total_refs = (opts.refs_per_core * cores) as u64;
+    let mut results = Vec::new();
+    for mech in MECHANISMS {
+        let cfg = config(mech, opts.refs_per_core);
+        let mut best = f64::INFINITY;
+        for _ in 0..opts.samples.max(1) {
+            let traces: Vec<CoreTrace> = (0..cores)
+                .map(|c| opts.benchmark.trace(c, Scale::Smoke))
+                .collect();
+            let start = Instant::now();
+            let r = run_traces(&cfg, traces);
+            let took = start.elapsed().as_secs_f64();
+            assert_eq!(r.total_refs(), total_refs, "run was truncated");
+            best = best.min(took);
+        }
+        results.push(json!({
+            "mechanism": mech.name(),
+            "ns_per_run": best * 1e9,
+            "refs_per_sec": total_refs as f64 / best,
+        }));
+    }
+    json!({
+        "schema": SCHEMA,
+        "benchmark": opts.benchmark.to_string(),
+        "scale": "smoke",
+        "refs_per_core": opts.refs_per_core as u64,
+        "cores": cores as u64,
+        "total_refs": total_refs,
+        "samples": opts.samples as u64,
+        "results": Json::Arr(results),
+    })
+}
+
+fn refs_per_sec(doc: &Json, mechanism: &str) -> Option<f64> {
+    doc.get("results")?
+        .as_array()?
+        .iter()
+        .find(|r| r.get("mechanism").and_then(Json::as_str) == Some(mechanism))?
+        .f64_of("refs_per_sec")
+        .ok()
+}
+
+/// Renders one snapshot as an aligned refs/s table.
+pub fn render(doc: &Json) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<10} {:>14}", "mechanism", "refs/s");
+    for mech in MECHANISMS {
+        if let Some(rps) = refs_per_sec(doc, mech.name()) {
+            let _ = writeln!(out, "{:<10} {rps:>14.0}", mech.name());
+        }
+    }
+    out
+}
+
+/// Renders the mechanism-by-mechanism ratio table `new / old` between two
+/// snapshot documents, ending with the geometric-mean speedup line.
+pub fn compare(old: &Json, new: &Json) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>14} {:>8}",
+        "mechanism", "old refs/s", "new refs/s", "ratio"
+    );
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for mech in MECHANISMS {
+        let (Some(a), Some(b)) = (
+            refs_per_sec(old, mech.name()),
+            refs_per_sec(new, mech.name()),
+        ) else {
+            let _ = writeln!(out, "{:<10} (missing from one snapshot)", mech.name());
+            continue;
+        };
+        let ratio = b / a;
+        log_sum += ratio.ln();
+        n += 1;
+        let _ = writeln!(out, "{:<10} {a:>14.0} {b:>14.0} {ratio:>7.2}x", mech.name());
+    }
+    if n > 0 {
+        let _ = writeln!(out, "geomean speedup: {:.2}x", (log_sum / n as f64).exp());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Json {
+        measure(&BenchOptions {
+            refs_per_core: 200,
+            samples: 1,
+            benchmark: Benchmark::Mcf,
+        })
+    }
+
+    #[test]
+    fn snapshot_has_schema_and_all_mechanisms() {
+        let doc = tiny();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(
+            doc.get("results").and_then(Json::as_array).unwrap().len(),
+            5
+        );
+        for mech in MECHANISMS {
+            let rps = refs_per_sec(&doc, mech.name()).expect("mechanism present");
+            assert!(rps > 0.0, "{}: nonpositive refs/s", mech.name());
+        }
+        // The document round-trips through text (what --bench-json writes).
+        let text = doc.pretty();
+        let parsed = minijson::parse(&text).expect("valid JSON");
+        assert_eq!(refs_per_sec(&parsed, "Base"), refs_per_sec(&doc, "Base"));
+    }
+
+    #[test]
+    fn compare_of_identical_snapshots_is_unity() {
+        let doc = tiny();
+        let table = compare(&doc, &doc);
+        assert!(table.contains("geomean speedup: 1.00x"), "{table}");
+        for mech in MECHANISMS {
+            assert!(table.contains(mech.name()), "{table}");
+        }
+    }
+}

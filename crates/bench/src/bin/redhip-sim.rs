@@ -19,6 +19,17 @@
 //!   --window N           telemetry window width in refs per core
 //!                        (default 100000)
 //!   --quiet              suppress the stderr heartbeat
+//!
+//! Bench-baseline mode (see EXPERIMENTS.md "Recording a bench baseline"):
+//!
+//!   --bench-json FILE    measure refs/s for every mechanism and write the
+//!                        snapshot as JSON (no --benchmark required; uses
+//!                        the sim_throughput configuration: mcf × 8 cores)
+//!   --bench-refs N       references per core per timed run (default 5000)
+//!   --bench-samples K    timed runs per mechanism, fastest wins (default
+//!                        3; use 1 for a quick smoke run)
+//!   --bench-compare A B  print the refs/s ratio table between two
+//!                        previously written snapshots and exit
 //! ```
 
 use bench::harness::{mechanism_config, run_workload, run_workload_with, FigureScale};
@@ -47,6 +58,9 @@ fn main() {
     let mut telemetry_path: Option<String> = None;
     let mut window: u64 = 100_000;
     let mut quiet = false;
+    let mut bench_json: Option<String> = None;
+    let mut bench_opts = bench::baseline::BenchOptions::default();
+    let mut bench_compare: Option<(String, String)> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -117,6 +131,26 @@ fn main() {
                     usage("--window must be positive");
                 }
             }
+            "--bench-json" => bench_json = Some(next("--bench-json")),
+            "--bench-refs" => {
+                bench_opts.refs_per_core = next("--bench-refs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --bench-refs"));
+                if bench_opts.refs_per_core == 0 {
+                    usage("--bench-refs must be positive");
+                }
+            }
+            "--bench-samples" => {
+                bench_opts.samples = next("--bench-samples")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --bench-samples"));
+                if bench_opts.samples == 0 {
+                    usage("--bench-samples must be positive");
+                }
+            }
+            "--bench-compare" => {
+                bench_compare = Some((next("--bench-compare"), next("--bench-compare")));
+            }
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
                 eprintln!("see the module docs at the top of redhip-sim.rs");
@@ -125,6 +159,34 @@ fn main() {
             other => usage(&format!("unknown argument {other}")),
         }
     }
+    if let Some((old_path, new_path)) = bench_compare {
+        let load = |p: &str| {
+            let text = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| usage(&format!("cannot read {p}: {e}")));
+            minijson::parse(&text).unwrap_or_else(|e| usage(&format!("{p}: {e}")))
+        };
+        print!(
+            "{}",
+            bench::baseline::compare(&load(&old_path), &load(&new_path))
+        );
+        return;
+    }
+
+    if let Some(path) = bench_json {
+        if let Some(b) = benchmark {
+            bench_opts.benchmark = b;
+        }
+        eprintln!(
+            "[redhip-sim] bench: {} x {} refs/core, {} sample(s) per mechanism ...",
+            bench_opts.benchmark, bench_opts.refs_per_core, bench_opts.samples
+        );
+        let doc = bench::baseline::measure(&bench_opts);
+        std::fs::write(&path, doc.pretty()).expect("write bench json");
+        eprintln!("[redhip-sim] wrote {path}");
+        print!("{}", bench::baseline::render(&doc));
+        return;
+    }
+
     let benchmark = benchmark.unwrap_or_else(|| usage("--benchmark is required"));
 
     let refs = refs.unwrap_or_else(|| scale.default_refs());

@@ -15,6 +15,30 @@ const SAMPLE_TARGET: Duration = Duration::from_millis(60);
 /// Timed samples per benchmark; the fastest is reported.
 const SAMPLES: usize = 5;
 
+/// Quick mode (`REDHIP_BENCH_QUICK=1`): one short sample per benchmark.
+/// The numbers are meaningless as measurements — this exists so CI can
+/// execute every bench body as a smoke test without paying for warmup
+/// and repeated samples.
+fn quick() -> bool {
+    std::env::var_os("REDHIP_BENCH_QUICK").is_some()
+}
+
+fn samples() -> usize {
+    if quick() {
+        1
+    } else {
+        SAMPLES
+    }
+}
+
+fn sample_target() -> Duration {
+    if quick() {
+        Duration::from_millis(1)
+    } else {
+        SAMPLE_TARGET
+    }
+}
+
 /// A named group of benchmarks, printed with a header like criterion's.
 pub struct Group {
     name: String,
@@ -36,6 +60,7 @@ impl Group {
     /// Benchmarks `f` repeatedly and prints one result row.
     pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
         // Warmup + calibration: find an iteration count filling the target.
+        let target = sample_target();
         let mut iters: u64 = 1;
         loop {
             let start = Instant::now();
@@ -43,15 +68,15 @@ impl Group {
                 std::hint::black_box(f());
             }
             let took = start.elapsed();
-            if took >= SAMPLE_TARGET / 4 {
-                let scale = SAMPLE_TARGET.as_secs_f64() / took.as_secs_f64().max(1e-9);
+            if took >= target / 4 {
+                let scale = target.as_secs_f64() / took.as_secs_f64().max(1e-9);
                 iters = ((iters as f64 * scale) as u64).max(1);
                 break;
             }
             iters = iters.saturating_mul(8).max(iters + 1);
         }
         let mut best = Duration::MAX;
-        for _ in 0..SAMPLES {
+        for _ in 0..samples() {
             let start = Instant::now();
             for _ in 0..iters {
                 std::hint::black_box(f());
@@ -84,14 +109,14 @@ impl Group {
         // Per-iteration setup is only used for heavyweight bodies (whole
         // simulations, full-table rebuilds), so time single invocations.
         let mut best = Duration::MAX;
-        let mut samples = 0;
+        let mut taken = 0;
         let deadline = Instant::now() + Duration::from_secs(5);
-        while samples < SAMPLES && Instant::now() < deadline {
+        while taken < samples() && Instant::now() < deadline {
             let input = setup();
             let start = Instant::now();
             std::hint::black_box(f(input));
             best = best.min(start.elapsed());
-            samples += 1;
+            taken += 1;
         }
         let throughput = if self.elements > 0 {
             let eps = self.elements as f64 / best.as_secs_f64();

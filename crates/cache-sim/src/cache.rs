@@ -4,8 +4,35 @@ use crate::config::CacheConfig;
 use crate::geometry::BlockGeometry;
 use crate::replacement::ReplacerState;
 
-const META_VALID: u8 = 1;
-const META_DIRTY: u8 = 2;
+const ENTRY_VALID: u64 = 1;
+const ENTRY_DIRTY: u64 = 1 << 1;
+const ENTRY_TAG_SHIFT: u32 = 2;
+
+/// Mask selecting the low `assoc` bits of a per-set validity word.
+#[inline]
+fn way_mask(assoc: usize) -> u64 {
+    if assoc == 64 {
+        u64::MAX
+    } else {
+        (1 << assoc) - 1
+    }
+}
+
+/// Iterates the set bit positions of a word, ascending.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let w = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(w)
+    }
+}
 
 /// A line evicted or invalidated out of a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,14 +48,41 @@ pub struct Evicted {
 /// The cache is *mechanically pure*: it tracks residency and replacement
 /// order only. Hit/miss counting, timing and energy belong to the caller
 /// (see `sim`), which keeps this hot path minimal.
+///
+/// Tag and metadata live in one contiguous word array — entry layout
+/// `tag << 2 | dirty << 1 | valid` — so the way-scan on every access is a
+/// single load, mask, and compare per way over one cache-resident stripe.
 #[derive(Debug, Clone)]
 pub struct Cache {
     geom: BlockGeometry,
     assoc: usize,
-    tags: Vec<u64>,
-    meta: Vec<u8>,
+    entries: Vec<u64>,
+    /// Per-set validity bitmask (bit `w` ⇔ way `w` valid), mirroring the
+    /// valid bits in `entries`. Fills pick an invalid way from it in one
+    /// bit-scan, and recalibration sweeps (`resident_blocks`) skip empty
+    /// sets wholesale instead of touching every entry word.
+    valid: Vec<u64>,
     repl: ReplacerState,
     live_lines: u64,
+}
+
+/// Touches one word per page so the OS maps the array up front. Zeroed
+/// `Vec`s are backed by lazily-faulted pages; without this, a large LLC
+/// tag array takes thousands of random-order page faults in the middle
+/// of the simulated reference stream instead of a sequential sweep here.
+fn prefault<T: Copy>(v: &mut [T]) {
+    const PAGE: usize = 4096;
+    let step = (PAGE / std::mem::size_of::<T>().max(1)).max(1);
+    let mut i = 0;
+    while i < v.len() {
+        // SAFETY: `i` is in bounds; the element is rewritten with its own
+        // value, so contents are unchanged.
+        unsafe {
+            let p = v.as_mut_ptr().add(i);
+            std::ptr::write_volatile(p, std::ptr::read(p));
+        }
+        i += step;
+    }
 }
 
 impl Cache {
@@ -36,11 +90,16 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let geom = config.geometry();
         let lines = (geom.sets() as usize) * config.assoc;
+        assert!(config.assoc <= 64, "valid mask holds at most 64 ways");
+        let mut entries = vec![0; lines];
+        let mut valid = vec![0; geom.sets() as usize];
+        prefault(&mut entries);
+        prefault(&mut valid);
         Self {
             geom,
             assoc: config.assoc,
-            tags: vec![0; lines],
-            meta: vec![0; lines],
+            entries,
+            valid,
             repl: ReplacerState::new(config.policy, geom.sets() as usize, config.assoc),
             live_lines: 0,
         }
@@ -75,8 +134,59 @@ impl Cache {
     #[inline]
     fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
         let base = set * self.assoc;
-        (0..self.assoc)
-            .find(|&w| self.meta[base + w] & META_VALID != 0 && self.tags[base + w] == tag)
+        // Masking out the dirty bit leaves `tag | valid`: one compare
+        // answers "valid and tag matches" per way. The scan visits only
+        // the valid ways — a lookup in an empty set (the common case deep
+        // in a large, lightly loaded level) is a single mask load.
+        let want = (tag << ENTRY_TAG_SHIFT) | ENTRY_VALID;
+        let mut m = self.valid[set];
+        if m == way_mask(self.assoc) {
+            // Full set — the steady state of a hot upper level, and the
+            // case the L1-hit fast path takes on nearly every reference.
+            // A straight scan beats per-way bit extraction here.
+            for w in 0..self.assoc {
+                if self.entries[base + w] & !ENTRY_DIRTY == want {
+                    return Some(w);
+                }
+            }
+            return None;
+        }
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.entries[base + w] & !ENTRY_DIRTY == want {
+                return Some(w);
+            }
+            m &= m - 1;
+        }
+        None
+    }
+
+    /// Hints the host CPU to pull `block`'s set stripe (entries + validity
+    /// mask) into cache. The arrays of a large simulated level exceed the
+    /// host's caches, so a demand walk pays a host-DRAM miss per level;
+    /// issuing the loads for every level up front overlaps those misses
+    /// instead of serializing them. No architectural effect — behaviour is
+    /// identical with or without the hint.
+    #[inline]
+    pub fn prefetch_set(&self, block: u64) {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let set = self.geom.set_of(block) as usize;
+            let entries = self.entries.as_ptr().add(set * self.assoc);
+            _mm_prefetch(entries.cast::<i8>(), _MM_HINT_T0);
+            if self.assoc > 8 {
+                // A stripe wider than 8 ways spans a second 64-byte line,
+                // and fills/victim scans touch every way.
+                _mm_prefetch(entries.add(8).cast::<i8>(), _MM_HINT_T0);
+            }
+            _mm_prefetch(self.valid.as_ptr().add(set).cast::<i8>(), _MM_HINT_T0);
+            self.repl.prefetch_set(set, self.assoc);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = block;
+        }
     }
 
     /// Checks residency without touching replacement state (used by the
@@ -97,7 +207,7 @@ impl Cache {
             Some(w) => {
                 self.repl.on_hit(set, w, self.assoc);
                 if is_store {
-                    self.meta[set * self.assoc + w] |= META_DIRTY;
+                    self.entries[set * self.assoc + w] |= ENTRY_DIRTY;
                 }
                 true
             }
@@ -114,30 +224,31 @@ impl Cache {
             self.find_way(set, tag).is_none(),
             "fill of already-resident block {block:#x}"
         );
+        debug_assert!(
+            tag.leading_zeros() >= ENTRY_TAG_SHIFT,
+            "tag {tag:#x} does not leave room for the entry flag bits"
+        );
         let base = set * self.assoc;
-        // Prefer an invalid way.
-        let mut way = None;
-        for w in 0..self.assoc {
-            if self.meta[base + w] & META_VALID == 0 {
-                way = Some(w);
-                break;
-            }
-        }
-        let (way, evicted) = match way {
-            Some(w) => (w, None),
-            None => {
+        // Prefer the lowest invalid way (one bit-scan of the set's mask).
+        let free = !self.valid[set] & way_mask(self.assoc);
+        let (way, evicted) = match free {
+            m if m != 0 => (m.trailing_zeros() as usize, None),
+            _ => {
                 let w = self.repl.victim(set, self.assoc);
-                let old_block = self.geom.block_from_parts(self.tags[base + w], set as u64);
+                let old = self.entries[base + w];
                 let evicted = Evicted {
-                    block: old_block,
-                    dirty: self.meta[base + w] & META_DIRTY != 0,
+                    block: self
+                        .geom
+                        .block_from_parts(old >> ENTRY_TAG_SHIFT, set as u64),
+                    dirty: old & ENTRY_DIRTY != 0,
                 };
                 self.live_lines -= 1;
                 (w, Some(evicted))
             }
         };
-        self.tags[base + way] = tag;
-        self.meta[base + way] = META_VALID | if dirty { META_DIRTY } else { 0 };
+        self.entries[base + way] =
+            (tag << ENTRY_TAG_SHIFT) | ENTRY_VALID | if dirty { ENTRY_DIRTY } else { 0 };
+        self.valid[set] |= 1 << way;
         self.repl.on_fill(set, way, self.assoc);
         self.live_lines += 1;
         evicted
@@ -150,8 +261,9 @@ impl Cache {
         let tag = self.geom.tag_of(block);
         let w = self.find_way(set, tag)?;
         let idx = set * self.assoc + w;
-        let dirty = self.meta[idx] & META_DIRTY != 0;
-        self.meta[idx] = 0;
+        let dirty = self.entries[idx] & ENTRY_DIRTY != 0;
+        self.entries[idx] = 0;
+        self.valid[set] &= !(1 << w);
         self.live_lines -= 1;
         Some(Evicted { block, dirty })
     }
@@ -163,7 +275,7 @@ impl Cache {
         let tag = self.geom.tag_of(block);
         match self.find_way(set, tag) {
             Some(w) => {
-                self.meta[set * self.assoc + w] |= META_DIRTY;
+                self.entries[set * self.assoc + w] |= ENTRY_DIRTY;
                 true
             }
             None => false,
@@ -174,23 +286,34 @@ impl Cache {
     /// tag-array read that ReDHiP's recalibration hardware performs.
     pub fn blocks_in_set(&self, set: u64) -> impl Iterator<Item = u64> + '_ {
         let base = set as usize * self.assoc;
-        (0..self.assoc).filter_map(move |w| {
-            if self.meta[base + w] & META_VALID != 0 {
-                Some(self.geom.block_from_parts(self.tags[base + w], set))
-            } else {
-                None
-            }
-        })
+        self.entries[base..base + self.assoc]
+            .iter()
+            .filter(|&&e| e & ENTRY_VALID != 0)
+            .map(move |&e| self.geom.block_from_parts(e >> ENTRY_TAG_SHIFT, set))
     }
 
-    /// Iterates all resident block addresses (diagnostics / invariants).
+    /// Iterates all resident block addresses (recalibration, diagnostics).
+    /// Driven by the per-set validity masks, so the sweep costs one word
+    /// per set plus one load per *resident* line — on a lightly loaded
+    /// cache it never touches the bulk of the entry array.
     pub fn resident_blocks(&self) -> impl Iterator<Item = u64> + '_ {
-        (0..self.sets()).flat_map(move |s| self.blocks_in_set(s))
+        self.valid
+            .iter()
+            .enumerate()
+            .filter(|&(_, &mask)| mask != 0)
+            .flat_map(move |(set, &mask)| {
+                let base = set * self.assoc;
+                BitIter(mask).map(move |w| {
+                    self.geom
+                        .block_from_parts(self.entries[base + w] >> ENTRY_TAG_SHIFT, set as u64)
+                })
+            })
     }
 
     /// Empties the cache.
     pub fn flush(&mut self) {
-        self.meta.fill(0);
+        self.entries.fill(0);
+        self.valid.fill(0);
         self.live_lines = 0;
     }
 }

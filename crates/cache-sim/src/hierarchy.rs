@@ -73,8 +73,11 @@ impl HierarchyConfig {
 pub struct DeepHierarchy {
     cores: usize,
     policy: InclusionPolicy,
-    /// `private[core][level]`, level 0 = L1.
-    private: Vec<Vec<Cache>>,
+    /// Private caches flattened core-major: entry `core * (levels-1) + level`,
+    /// level 0 = L1. One contiguous array means the per-reference cache pick
+    /// is a single indexed load instead of a nested-`Vec` double pointer
+    /// chase.
+    private: Vec<Cache>,
     shared: Cache,
     stats: HierarchyStats,
     levels: u8,
@@ -91,14 +94,14 @@ impl DeepHierarchy {
             !config.private_levels.is_empty(),
             "need at least one private level above the LLC"
         );
+        assert!(
+            config.levels() <= crate::traversal::MAX_LEVELS,
+            "hierarchy depth {} exceeds the traversal event-list capacity {}",
+            config.levels(),
+            crate::traversal::MAX_LEVELS
+        );
         let private = (0..config.cores)
-            .map(|_| {
-                config
-                    .private_levels
-                    .iter()
-                    .map(|c| Cache::new(*c))
-                    .collect()
-            })
+            .flat_map(|_| config.private_levels.iter().map(|c| Cache::new(*c)))
             .collect();
         Self {
             cores: config.cores,
@@ -135,9 +138,15 @@ impl DeepHierarchy {
         &self.shared
     }
 
+    /// Index of `(core, level)` in the flattened private-cache array.
+    #[inline]
+    fn pidx(&self, core: usize, level: LevelId) -> usize {
+        core * (self.levels as usize - 1) + level as usize
+    }
+
     /// Read access to a private cache (multi-table recalibration).
     pub fn private_cache(&self, core: usize, level: LevelId) -> &Cache {
-        &self.private[core][level as usize]
+        &self.private[self.pidx(core, level)]
     }
 
     /// Accumulated statistics.
@@ -150,11 +159,19 @@ impl DeepHierarchy {
         self.stats.absorb(t);
     }
 
+    /// Mutable statistics access, for callers that fold a traversal's
+    /// events and price them in a single pass (the simulator miss path)
+    /// instead of walking the event lists once here and once for energy.
+    pub fn stats_mut(&mut self) -> &mut HierarchyStats {
+        &mut self.stats
+    }
+
     fn cache_mut(&mut self, core: usize, level: LevelId) -> &mut Cache {
         if level == self.levels - 1 {
             &mut self.shared
         } else {
-            &mut self.private[core][level as usize]
+            let i = self.pidx(core, level);
+            &mut self.private[i]
         }
     }
 
@@ -162,7 +179,19 @@ impl DeepHierarchy {
         if level == self.levels - 1 {
             &self.shared
         } else {
-            &self.private[core][level as usize]
+            &self.private[self.pidx(core, level)]
+        }
+    }
+
+    /// Hints the host CPU to pull the set stripes an imminent walk of
+    /// levels `1..levels` will touch (see [`Cache::prefetch_set`]). Called
+    /// right after an L1 miss is detected, it overlaps the host-memory
+    /// latency of the per-level array reads instead of paying them one
+    /// dependent load at a time.
+    #[inline]
+    pub fn prefetch_walk_sets(&self, core: usize, block: u64) {
+        for lvl in 1..self.levels {
+            self.cache_ref(core, lvl).prefetch_set(block);
         }
     }
 
@@ -174,10 +203,30 @@ impl DeepHierarchy {
         is_store: bool,
         t: &mut Traversal,
     ) -> bool {
-        let hit = self.private[core][0].access(block, is_store);
+        let i = self.pidx(core, 0);
+        let hit = self.private[i].access(block, is_store);
         t.lookups.push((0, hit));
         if hit {
             t.hit_level = Some(0);
+        }
+        hit
+    }
+
+    /// L1 demand access that counts its own statistics instead of logging
+    /// a traversal — the hot path for the (overwhelmingly common) L1 hit.
+    /// On a hit, the effect on hierarchy state and stats is identical to
+    /// `access_first` + `absorb_stats` of the one-lookup traversal. On a
+    /// miss nothing is counted: the caller restarts through
+    /// [`DeepHierarchy::access_first`] so the full traversal carries the
+    /// miss, exactly as before.
+    #[inline]
+    pub fn try_first_hit(&mut self, core: usize, block: u64, is_store: bool) -> bool {
+        let i = self.pidx(core, 0);
+        let hit = self.private[i].access(block, is_store);
+        if hit {
+            let s = &mut self.stats.levels[0];
+            s.lookups += 1;
+            s.hits += 1;
         }
         hit
     }
@@ -281,7 +330,8 @@ impl DeepHierarchy {
             for core in 0..self.cores {
                 for lvl in 0..(self.levels - 1) {
                     t.probes.push(lvl);
-                    if let Some(up) = self.private[core][lvl as usize].invalidate(v.block) {
+                    let i = self.pidx(core, lvl);
+                    if let Some(up) = self.private[i].invalidate(v.block) {
                         self.stats.count_invalidation(lvl);
                         t.removed.push((lvl, v.block));
                         dirty |= up.dirty;
@@ -305,7 +355,8 @@ impl DeepHierarchy {
         dirty: bool,
         t: &mut Traversal,
     ) {
-        let evicted = self.private[core][lvl as usize].fill(block, dirty);
+        let i = self.pidx(core, lvl);
+        let evicted = self.private[i].fill(block, dirty);
         t.fills.push(lvl);
         t.inserted.push((lvl, block));
         if let Some(v) = evicted {
@@ -314,7 +365,8 @@ impl DeepHierarchy {
             let mut wb_dirty = v.dirty;
             for up in 0..lvl {
                 t.probes.push(up);
-                if let Some(e) = self.private[core][up as usize].invalidate(v.block) {
+                let i = self.pidx(core, up);
+                if let Some(e) = self.private[i].invalidate(v.block) {
                     self.stats.count_invalidation(up);
                     t.removed.push((up, v.block));
                     wb_dirty |= e.dirty;
@@ -434,7 +486,7 @@ impl DeepHierarchy {
         }
         let mut lvl = self.levels - 2;
         loop {
-            if !self.private[core][lvl as usize].probe(block) {
+            if !self.private[self.pidx(core, lvl)].probe(block) {
                 self.fill_private_inclusive(core, lvl, block, false, t);
             }
             if lvl == up_to_level {
@@ -453,11 +505,11 @@ impl DeepHierarchy {
             InclusionPolicy::Inclusive => {
                 for core in 0..self.cores {
                     for lvl in 0..(self.levels as usize - 1) {
-                        for b in self.private[core][lvl].resident_blocks() {
+                        for b in self.private[self.pidx(core, lvl as u8)].resident_blocks() {
                             let below_ok = if lvl + 2 == self.levels as usize {
                                 self.shared.probe(b)
                             } else {
-                                self.private[core][lvl + 1].probe(b)
+                                self.private[self.pidx(core, lvl as u8 + 1)].probe(b)
                             };
                             if !below_ok {
                                 return Err(format!(
@@ -472,9 +524,9 @@ impl DeepHierarchy {
             InclusionPolicy::Exclusive => {
                 for core in 0..self.cores {
                     for a in 0..(self.levels as usize - 1) {
-                        for b in self.private[core][a].resident_blocks() {
+                        for b in self.private[self.pidx(core, a as u8)].resident_blocks() {
                             for other in (a + 1)..(self.levels as usize - 1) {
-                                if self.private[core][other].probe(b) {
+                                if self.private[self.pidx(core, other as u8)].probe(b) {
                                     return Err(format!(
                                         "exclusive: core {core} block {b:#x} in both L{} and L{}",
                                         a + 1,
@@ -495,9 +547,9 @@ impl DeepHierarchy {
             InclusionPolicy::Hybrid => {
                 for core in 0..self.cores {
                     for a in 0..(self.levels as usize - 1) {
-                        for b in self.private[core][a].resident_blocks() {
+                        for b in self.private[self.pidx(core, a as u8)].resident_blocks() {
                             for other in (a + 1)..(self.levels as usize - 1) {
-                                if self.private[core][other].probe(b) {
+                                if self.private[self.pidx(core, other as u8)].probe(b) {
                                     return Err(format!(
                                         "hybrid: core {core} block {b:#x} in both L{} and L{}",
                                         a + 1,
@@ -521,7 +573,9 @@ impl DeepHierarchy {
 
     /// True when `block` resides at any level reachable by `core`.
     pub fn resident_anywhere(&self, core: usize, block: u64) -> bool {
-        self.private[core].iter().any(|c| c.probe(block)) || self.shared.probe(block)
+        let base = self.pidx(core, 0);
+        let end = base + self.levels as usize - 1;
+        self.private[base..end].iter().any(|c| c.probe(block)) || self.shared.probe(block)
     }
 }
 

@@ -69,10 +69,32 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
         &self.items[..self.len as usize]
     }
 
-    /// Iterates stored items by value.
+    /// Iterates references to the stored items.
     #[inline]
-    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-        self.as_slice().iter().copied()
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    /// Appends every item of an iterator.
+    ///
+    /// # Panics
+    /// Panics when the items do not fit (same contract as [`push`]).
+    ///
+    /// [`push`]: InlineVec::push
+    #[inline]
+    pub fn extend(&mut self, items: impl IntoIterator<Item = T>) {
+        for item in items {
+            self.push(item);
+        }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
     }
 }
 
@@ -97,6 +119,15 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert_eq!(v.as_slice(), &[10, 20]);
         assert_eq!(v.iter().sum::<u32>(), 30);
+        assert_eq!((&v).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn extend_appends_in_order() {
+        let mut v: InlineVec<u8, 4> = InlineVec::new();
+        v.push(1);
+        v.extend([2, 3]);
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
     }
 
     #[test]

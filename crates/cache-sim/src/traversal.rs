@@ -12,30 +12,44 @@
 //! [`Traversal::clear`] and hand it back to the hierarchy. Its vectors
 //! retain capacity, so steady-state simulation performs no allocation.
 
+use crate::inline_vec::InlineVec;
+
 /// Cache level index: 0 = L1, `levels-1` = LLC.
 pub type LevelId = u8;
 
 /// Pseudo-level denoting main memory in writeback targets.
 pub const MEMORY: LevelId = u8::MAX;
 
+/// Capacity of the per-level-bounded event lists: one entry per level of
+/// the deepest supported hierarchy (`DeepHierarchy::new` asserts ≤ 8
+/// levels). Lists that can grow with the core count (`removed`, `probes`)
+/// stay heap-backed.
+pub const MAX_LEVELS: usize = 8;
+
 /// Event log of a single hierarchy operation.
+///
+/// The per-level event lists are fixed-capacity inline arrays: every
+/// demand access writes and reads them, and keeping them off the heap
+/// keeps the whole log in two cache lines of scratch.
 #[derive(Debug, Clone, Default)]
 pub struct Traversal {
     /// Array lookups in issue order: `(level, hit)`.
-    pub lookups: Vec<(LevelId, bool)>,
+    pub lookups: InlineVec<(LevelId, bool), MAX_LEVELS>,
     /// Fill (line install) events per level, in order.
-    pub fills: Vec<LevelId>,
-    /// Writeback data arriving at a level (`MEMORY` = off-chip).
-    pub writebacks: Vec<LevelId>,
+    pub fills: InlineVec<LevelId, MAX_LEVELS>,
+    /// Writeback data arriving at a level (`MEMORY` = off-chip), at most
+    /// one per filled level.
+    pub writebacks: InlineVec<LevelId, MAX_LEVELS>,
     /// Level that supplied the data; `None` when served from memory.
     pub hit_level: Option<LevelId>,
     /// Blocks installed into a level.
-    pub inserted: Vec<(LevelId, u64)>,
+    pub inserted: InlineVec<(LevelId, u64), MAX_LEVELS>,
     /// Blocks displaced from a level (replacement victim, back-invalidation,
-    /// or exclusive move-up extraction).
+    /// or exclusive move-up extraction). Back-invalidation sweeps every
+    /// core, so this is unbounded by the level count.
     pub removed: Vec<(LevelId, u64)>,
     /// Tag-array probes performed for back-invalidation (inclusive
-    /// victims), one entry per probed level.
+    /// victims), one entry per probed level — every core, so heap-backed.
     pub probes: Vec<LevelId>,
 }
 
@@ -190,17 +204,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn clear_retains_capacity() {
+    fn clear_resets_every_list() {
         let mut t = Traversal::new();
         t.lookups.push((0, true));
         t.inserted.push((1, 42));
         t.probes.push(2);
-        let cap = t.lookups.capacity();
+        t.hit_level = Some(0);
         t.clear();
         assert!(t.lookups.is_empty());
         assert!(t.inserted.is_empty());
         assert!(t.probes.is_empty());
-        assert_eq!(t.lookups.capacity(), cap);
+        assert_eq!(t.hit_level, None);
     }
 
     #[test]

@@ -9,23 +9,31 @@
 
 /// The paper's bits-hash: the low `p` bits of the block address (i.e. the
 /// low `p` address bits after the block offset has been removed).
+///
+/// The index mask is materialized at construction so the hash itself is a
+/// single AND — the hardware's "hash" is literally wire selection, and the
+/// software probe should cost the same.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BitsHash {
     /// Index width `p` in bits.
     pub index_bits: u32,
+    mask: u64,
 }
 
 impl BitsHash {
     /// Creates a bits-hash producing `index_bits`-bit indices.
     pub fn new(index_bits: u32) -> Self {
         assert!((1..=40).contains(&index_bits), "unreasonable index width");
-        Self { index_bits }
+        Self {
+            index_bits,
+            mask: (1u64 << index_bits) - 1,
+        }
     }
 
     /// Hashes a block address to a table index.
     #[inline]
     pub fn index(&self, block: u64) -> u64 {
-        block & ((1u64 << self.index_bits) - 1)
+        block & self.mask
     }
 
     /// Number of distinct indices.

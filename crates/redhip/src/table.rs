@@ -24,6 +24,8 @@ pub struct PredictionTable {
 /// Bits per table word (the paper's "64-bit line", one per LLC set when
 /// `p − k = 6`).
 pub const WORD_BITS: u32 = 64;
+/// `log2(WORD_BITS)`.
+const WORD_SHIFT: u32 = WORD_BITS.trailing_zeros();
 
 impl PredictionTable {
     /// Builds a table with `index_bits`-bit indices (capacity
@@ -70,14 +72,12 @@ impl PredictionTable {
     #[inline]
     fn locate(&self, block: u64) -> (usize, u64) {
         let idx = self.hash.index(block);
-        (
-            (idx / u64::from(WORD_BITS)) as usize,
-            idx % u64::from(WORD_BITS),
-        )
+        ((idx >> WORD_SHIFT) as usize, idx & u64::from(WORD_BITS - 1))
     }
 
-    /// Tests the bit for `block`.
-    #[inline]
+    /// Tests the bit for `block`: one masked load — the probe the paper
+    /// prices at a single small-SRAM access.
+    #[inline(always)]
     pub fn test(&self, block: u64) -> bool {
         let (w, b) = self.locate(block);
         self.words[w] >> b & 1 != 0

@@ -1,0 +1,90 @@
+//! Property tests for the prediction-table primitives: the bits-hash
+//! spreads random blocks uniformly, and recalibration is idempotent.
+
+use redhip::{BitsHash, PredictionTable};
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The bits-hash is a low-bits selection, so on uniformly random block
+/// addresses every bucket must be hit equally often. With 4096 expected
+/// samples per bucket, the binomial standard deviation is ~64 — the ±10%
+/// corridor is a ~6σ bound, so this never flakes on a fixed seed and
+/// still catches any masking or shifting defect.
+#[test]
+fn bits_hash_bucket_occupancy_is_uniform_within_ten_percent() {
+    const INDEX_BITS: u32 = 8;
+    const BUCKETS: usize = 1 << INDEX_BITS;
+    const PER_BUCKET: u64 = 4096;
+    let h = BitsHash::new(INDEX_BITS);
+    let mut counts = vec![0u64; BUCKETS];
+    let mut st = 0xB175_4A54_u64;
+    for _ in 0..(BUCKETS as u64 * PER_BUCKET) {
+        counts[h.index(splitmix(&mut st)) as usize] += 1;
+    }
+    let lo = PER_BUCKET * 9 / 10;
+    let hi = PER_BUCKET * 11 / 10;
+    for (bucket, &n) in counts.iter().enumerate() {
+        assert!(
+            (lo..=hi).contains(&n),
+            "bucket {bucket}: {n} outside [{lo}, {hi}] (expected {PER_BUCKET})"
+        );
+    }
+}
+
+/// Recalibrating twice from the same resident set must be a no-op the
+/// second time: the table state is a pure function of the resident set.
+#[test]
+fn recalibration_is_idempotent() {
+    const INDEX_BITS: u32 = 10;
+    let mut st = 0x1D34_D07E_u64;
+    for _case in 0..64 {
+        let n = (splitmix(&mut st) % 300) as usize;
+        let resident: Vec<u64> = (0..n).map(|_| splitmix(&mut st) % 1_000_000).collect();
+
+        let mut table = PredictionTable::new(INDEX_BITS);
+        // Accumulate staleness so recalibration has something to clear.
+        for b in 0..2_000u64 {
+            table.set(b.wrapping_mul(7));
+        }
+        table.recalibrate_from(resident.iter().copied());
+        let once: Vec<bool> = (0..1u64 << INDEX_BITS).map(|i| table.test(i)).collect();
+        let pop_once = table.popcount();
+
+        table.recalibrate_from(resident.iter().copied());
+        let twice: Vec<bool> = (0..1u64 << INDEX_BITS).map(|i| table.test(i)).collect();
+
+        assert_eq!(once, twice, "second recalibration changed the table");
+        assert_eq!(pop_once, table.popcount());
+
+        // And the result equals a fresh table built from the same set:
+        // recalibration erases all history.
+        let mut fresh = PredictionTable::new(INDEX_BITS);
+        fresh.recalibrate_from(resident.iter().copied());
+        let fresh_bits: Vec<bool> = (0..1u64 << INDEX_BITS).map(|i| fresh.test(i)).collect();
+        assert_eq!(once, fresh_bits, "recalibration kept stale history");
+    }
+}
+
+/// Recalibration order-independence: the rebuilt table depends on the
+/// resident *set*, not the sweep order the hardware happens to use.
+#[test]
+fn recalibration_is_order_independent() {
+    let mut st = 0x0_5EEDu64;
+    let resident: Vec<u64> = (0..200).map(|_| splitmix(&mut st) % 50_000).collect();
+    let mut reversed = resident.clone();
+    reversed.reverse();
+
+    let mut a = PredictionTable::new(12);
+    let mut b = PredictionTable::new(12);
+    a.recalibrate_from(resident.iter().copied());
+    b.recalibrate_from(reversed.iter().copied());
+    for i in 0..1u64 << 12 {
+        assert_eq!(a.test(i), b.test(i), "index {i} differs by sweep order");
+    }
+}

@@ -3,7 +3,7 @@
 use crate::config::SimConfig;
 use crate::stats::{PredictionStats, PrefetchSummary};
 use crate::system::System;
-use cache_sim::HierarchyStats;
+use cache_sim::{HierarchyStats, Traversal};
 use energy_model::EnergyReport;
 use mem_trace::record::TraceRecord;
 use minijson::{json, Json, ToJson};
@@ -113,6 +113,47 @@ pub fn run_traces(cfg: &SimConfig, traces: Vec<CoreTrace>) -> RunResult {
     run_traces_with(cfg, traces, NullObserver).0
 }
 
+/// Records pulled ahead per refill of a [`BufferedTrace`].
+const TRACE_CHUNK: usize = 128;
+
+/// Chunked pull-ahead over a boxed trace generator. Refilling an array of
+/// records at a time amortizes the dynamic dispatch of `Iterator::next`
+/// across [`TRACE_CHUNK`] references and lets the generator's state
+/// machine run hot, instead of paying an indirect call on every iteration
+/// of the scheduler's innermost loop. The record sequence is unchanged;
+/// records a core generated but never consumed (target reached mid-chunk)
+/// are simply dropped, as generators carry no cross-core state.
+struct BufferedTrace {
+    src: CoreTrace,
+    buf: Vec<TraceRecord>,
+    pos: usize,
+}
+
+impl BufferedTrace {
+    fn new(src: CoreTrace) -> Self {
+        Self {
+            src,
+            buf: Vec::with_capacity(TRACE_CHUNK),
+            pos: 0,
+        }
+    }
+
+    #[inline]
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.buf.extend(self.src.by_ref().take(TRACE_CHUNK));
+            self.pos = 0;
+            if self.buf.is_empty() {
+                return None;
+            }
+        }
+        let r = self.buf[self.pos];
+        self.pos += 1;
+        Some(r)
+    }
+}
+
 /// Like [`run_traces`], but reports telemetry to `obs` while running and
 /// returns it (after its final
 /// [`on_window_close`](SimObserver::on_window_close)) alongside the
@@ -134,34 +175,70 @@ pub fn run_traces_with<O: SimObserver>(
     let mut system = System::with_observer(cfg.clone(), obs);
     let cores = traces.len();
 
-    let mut traces = traces;
-    let mut done = vec![false; cores];
+    let mut traces: Vec<BufferedTrace> = traces.into_iter().map(BufferedTrace::new).collect();
     let mut counts = vec![0u64; cores];
     let target = cfg.refs_per_core as u64;
+    let mut scratch = Traversal::new();
+
+    // Local mirror of the per-core clocks, with finished cores pinned at
+    // +inf so the argmin scan below is a branch-free sweep over one dense
+    // array: +inf loses every `<` comparison, which excludes a finished
+    // core from selection exactly as a skip would, and when everything is
+    // +inf no core is picked and the loop ends.
+    let mut clk: Vec<f64> = system.clocks().to_vec();
 
     loop {
-        // Advance the core with the smallest clock among unfinished cores.
+        // Advance the core with the smallest clock among unfinished cores
+        // (ties go to the lowest index). One scan also yields the second
+        // smallest clock: while the chosen core stays *strictly* below it,
+        // the scan would keep picking the same core, so it can be stepped
+        // in a batch without re-deriving the argmin per reference.
         let mut core = usize::MAX;
         let mut best = f64::INFINITY;
-        for (c, &finished) in done.iter().enumerate() {
-            if !finished && system.clocks()[c] < best {
-                best = system.clocks()[c];
+        let mut next_best = f64::INFINITY;
+        for (c, &v) in clk.iter().enumerate() {
+            if v < best {
+                next_best = best;
+                best = v;
                 core = c;
+            } else if v < next_best {
+                next_best = v;
             }
         }
         if core == usize::MAX {
             break;
         }
-        match traces[core].next() {
-            Some(mut rec) => {
-                rec.addr = core_physical(cfg, core, rec.addr);
-                system.step(core, &rec);
-                counts[core] += 1;
-                if counts[core] >= target {
-                    done[core] = true;
+        loop {
+            match traces[core].next() {
+                Some(mut rec) => {
+                    rec.addr = core_physical(cfg, core, rec.addr);
+                    let recalibs = system.recalibration_count();
+                    let now = system.step_with(core, &rec, &mut scratch);
+                    clk[core] = now;
+                    counts[core] += 1;
+                    if counts[core] >= target {
+                        clk[core] = f64::INFINITY;
+                        break;
+                    }
+                    // Recalibration advances *every* clock; resync the
+                    // mirror and recompute the schedule from scratch.
+                    if system.recalibration_count() != recalibs {
+                        for (c, v) in clk.iter_mut().enumerate() {
+                            if v.is_finite() {
+                                *v = system.clocks()[c];
+                            }
+                        }
+                        break;
+                    }
+                    if now >= next_best {
+                        break;
+                    }
+                }
+                None => {
+                    clk[core] = f64::INFINITY;
+                    break;
                 }
             }
-            None => done[core] = true,
         }
     }
 

@@ -27,8 +27,13 @@ enum PredictorState {
     None,
     /// Oracle: consults the LLC directly at zero cost.
     Oracle,
-    /// Single table beside the (inclusive) LLC: ReDHiP or CBF.
+    /// Single table beside the (inclusive) LLC behind the predictor trait:
+    /// CBF, or ReDHiP's perfect-recalibration variant.
     Single(Box<dyn PresencePredictor + Send>),
+    /// The common ReDHiP configuration, devirtualized: holding the
+    /// [`PredictionTable`] directly lets the per-miss probe inline to a
+    /// single load+mask instead of a virtual call.
+    Table(PredictionTable),
     /// §III-C fully-exclusive configuration: one scaled table per cache.
     /// Index layout: `(level-1) * cores + core` for private levels,
     /// last index = shared LLC.
@@ -61,6 +66,14 @@ pub struct System<O: SimObserver = NullObserver> {
     pf_summary: PrefetchSummary,
     pt_spec: PredictorSpec,
     recalib_engine: Option<RecalibrationEngine>,
+    /// Precomputed L1-hit pricing (the mechanism's lookup flavour applied
+    /// to level 0), so the dominant fast path skips `absorb_and_price`.
+    l1_hit_nj: f64,
+    l1_hit_cycles: u64,
+    /// Miss count at which recalibration fires; `u64::MAX` when the
+    /// mechanism never recalibrates. Folding the predictor-kind match into
+    /// one constant makes the per-reference due-check a single compare.
+    recalib_threshold: u64,
     /// Blocks brought in by prefetch and not yet demanded (usefulness).
     prefetched: HashSet<u64>,
     // Reusable scratch.
@@ -148,7 +161,7 @@ impl<O: SimObserver> System<O> {
                     p.llc().tag_energy_nj,
                     pt_spec.access_energy_nj,
                 ));
-                PredictorState::Single(Box::new(table))
+                PredictorState::Table(table)
             }
             (Mechanism::Redhip, InclusionPolicy::Exclusive) => Self::build_multi(&cfg, &pt_spec),
         };
@@ -157,6 +170,23 @@ impl<O: SimObserver> System<O> {
             Some(sc) => (0..p.cores).map(|_| StridePrefetcher::new(sc)).collect(),
             None => Vec::new(),
         };
+
+        let recalib_threshold = match (&predictor, cfg.recalib_period) {
+            (PredictorState::Table(_), Some(period)) => period,
+            (PredictorState::Single(p), Some(period)) if p.supports_recalibration() => period,
+            (PredictorState::Multi { .. }, Some(period)) => period,
+            _ => u64::MAX,
+        };
+
+        // Price the L1 hit once, mirroring `absorb_and_price` exactly for a
+        // `(0, true)` lookup under this mechanism.
+        let l0 = &p.levels[0];
+        let (l1_hit_nj, l1_hit_cycles) =
+            if cfg.mechanism == Mechanism::Phased && l0.tag_energy_nj > 0.0 {
+                (l0.phased_lookup_nj(true), l0.phased_latency(true))
+            } else {
+                (l0.parallel_lookup_nj(), l0.parallel_latency(true))
+            };
 
         let levels = p.levels.len();
         Self {
@@ -172,6 +202,9 @@ impl<O: SimObserver> System<O> {
             pf_summary: PrefetchSummary::default(),
             pt_spec,
             recalib_engine,
+            l1_hit_nj,
+            l1_hit_cycles,
+            recalib_threshold,
             prefetched: HashSet::new(),
             t: Traversal::new(),
             pf_t: Traversal::new(),
@@ -225,6 +258,16 @@ impl<O: SimObserver> System<O> {
 
     /// Processes one trace record on `core`.
     pub fn step(&mut self, core: usize, rec: &TraceRecord) {
+        let mut t = std::mem::take(&mut self.t);
+        self.step_with(core, rec, &mut t);
+        self.t = t;
+    }
+
+    /// Like [`System::step`], but uses caller-provided traversal scratch:
+    /// the run harness owns one and skips the per-reference swap. Returns
+    /// the stepping core's updated clock so the scheduler's inner loop can
+    /// compare against its batch bound without re-reading the clock array.
+    pub fn step_with(&mut self, core: usize, rec: &TraceRecord, t: &mut Traversal) -> f64 {
         // Energy delta for telemetry: snapshot before any charging. Gated
         // on `O::ENABLED` so the default path never sums the accumulators.
         let energy_before = if O::ENABLED {
@@ -236,16 +279,43 @@ impl<O: SimObserver> System<O> {
         let store = rec.op.is_store();
         self.clocks[core] += f64::from(rec.gap) * self.cfg.avg_cpi;
 
-        let mut t = std::mem::take(&mut self.t);
-        t.clear();
-        let l1_hit = self.hierarchy.access_first(core, block, store, &mut t);
-        if !l1_hit {
-            self.l1_misses_since_recalib += 1;
-            self.dispatch_l1_miss(core, block, store, &mut t);
+        // Fast path: an L1 hit is exactly one lookup event — count, price,
+        // and report it directly, with no traversal bookkeeping. (On a hit
+        // there are no fills, writebacks, probes, or predictor events.)
+        if self.hierarchy.try_first_hit(core, block, store) {
+            self.energy.add_level(0, self.l1_hit_nj);
+            let latency = self.l1_hit_cycles;
+            self.clocks[core] += latency as f64;
+            if O::ENABLED {
+                self.obs.on_level_access(core, 0, true);
+            }
+            if !self.prefetched.is_empty() && self.prefetched.remove(&block) {
+                self.pf_summary.useful += 1;
+            }
+            if !self.prefetchers.is_empty() {
+                self.do_prefetch(core, rec);
+            }
+            if O::ENABLED {
+                let delta = self.energy.total_dynamic_nj() - energy_before;
+                self.obs.on_ref(core, latency, delta);
+            }
+            if self.recalibration_due() {
+                self.recalibrate();
+            }
+            return self.clocks[core];
         }
-        self.apply_predictor_updates(core, &t);
-        self.hierarchy.absorb_stats(&t);
-        let latency = self.price_traversal(&t, /* charge_latency = */ true);
+
+        // Overlap the host-memory reads of the deeper levels' arrays with
+        // the bookkeeping between here and the walk.
+        self.hierarchy.prefetch_walk_sets(core, block);
+        t.clear();
+        // The miss the fast path just observed; a missed L1 probe has no
+        // side effects, so it is logged rather than repeated.
+        t.lookups.push((0, false));
+        self.l1_misses_since_recalib += 1;
+        self.dispatch_l1_miss(core, block, store, t);
+        self.apply_predictor_updates(core, t);
+        let latency = self.absorb_and_price(t);
         self.clocks[core] += latency as f64;
         if O::ENABLED {
             // Mirror exactly what `absorb_stats` aggregates (demand
@@ -258,7 +328,6 @@ impl<O: SimObserver> System<O> {
                 self.obs.on_fill(core, lvl);
             }
         }
-        self.t = t;
 
         // Usefulness: a demand touch consumes the prefetched marker.
         if !self.prefetched.is_empty() && self.prefetched.remove(&block) {
@@ -280,6 +349,7 @@ impl<O: SimObserver> System<O> {
         if self.recalibration_due() {
             self.recalibrate();
         }
+        self.clocks[core]
     }
 
     fn dispatch_l1_miss(&mut self, core: usize, block: u64, store: bool, t: &mut Traversal) {
@@ -301,6 +371,32 @@ impl<O: SimObserver> System<O> {
                 }
             }
             Mechanism::Redhip | Mechanism::Cbf => match &self.predictor {
+                PredictorState::Table(table) => {
+                    self.pred_stats.lookups += 1;
+                    if self.cfg.count_prediction_overhead {
+                        self.energy.add_predictor(self.pt_spec.access_energy_nj);
+                        self.clocks[core] += self.pt_spec.lookup_latency() as f64;
+                    }
+                    // The branchless probe: one load + mask. A zero bit
+                    // proves absence (no false negatives, ever).
+                    if table.test(block) {
+                        if self.walk(core, block, store, t) {
+                            self.pred_stats.walk_hits += 1;
+                            self.obs.on_walk_hit(core);
+                        } else {
+                            self.pred_stats.false_positives += 1;
+                            self.obs.on_false_positive(core);
+                        }
+                    } else {
+                        debug_assert!(
+                            !self.hierarchy.llc().probe(block),
+                            "false negative: bypassed a resident block"
+                        );
+                        self.pred_stats.bypasses += 1;
+                        self.obs.on_bypass(core);
+                        self.hierarchy.fill_from_memory(core, block, store, t);
+                    }
+                }
                 PredictorState::Single(p) => {
                     self.pred_stats.lookups += 1;
                     if self.cfg.count_prediction_overhead {
@@ -407,6 +503,20 @@ impl<O: SimObserver> System<O> {
     fn apply_predictor_updates(&mut self, core: usize, t: &Traversal) {
         let overhead = self.cfg.count_prediction_overhead;
         match &mut self.predictor {
+            PredictorState::Table(table) => {
+                // 1-bit entries: only LLC fills matter; evictions are
+                // intentionally ignored (§III-A).
+                let llc = self.hierarchy.llc_level();
+                for &(lvl, block) in t.inserted.iter() {
+                    if lvl == llc {
+                        table.set(block);
+                        self.pred_stats.updates += 1;
+                        if overhead {
+                            self.energy.add_predictor(self.pt_spec.access_energy_nj);
+                        }
+                    }
+                }
+            }
             PredictorState::Single(p) => {
                 let llc = self.hierarchy.llc_level();
                 for (lvl, block) in t.inserted.iter().copied() {
@@ -453,14 +563,9 @@ impl<O: SimObserver> System<O> {
         }
     }
 
+    #[inline]
     fn recalibration_due(&self) -> bool {
-        match (&self.predictor, self.cfg.recalib_period) {
-            (PredictorState::Single(p), Some(period)) if p.supports_recalibration() => {
-                self.l1_misses_since_recalib >= period
-            }
-            (PredictorState::Multi { .. }, Some(period)) => self.l1_misses_since_recalib >= period,
-            _ => false,
-        }
+        self.l1_misses_since_recalib >= self.recalib_threshold
     }
 
     /// Rebuilds the table(s) from the cache contents, charging the modelled
@@ -474,6 +579,20 @@ impl<O: SimObserver> System<O> {
         let mut charged_nj = 0.0;
         let mut charged_cycles = 0u64;
         match &mut self.predictor {
+            PredictorState::Table(table) => {
+                table.recalibrate_from(self.hierarchy.llc().resident_blocks());
+                if overhead {
+                    if let Some(engine) = &self.recalib_engine {
+                        let cost = engine.cost();
+                        self.energy.add_recalibration(cost.energy_nj);
+                        for c in self.clocks.iter_mut() {
+                            *c += cost.cycles as f64;
+                        }
+                        charged_nj = cost.energy_nj;
+                        charged_cycles = cost.cycles;
+                    }
+                }
+            }
             PredictorState::Single(p) => {
                 p.recalibrate(&mut self.hierarchy.llc().resident_blocks());
                 if overhead {
@@ -526,11 +645,23 @@ impl<O: SimObserver> System<O> {
         self.obs.on_recalibration(charged_nj, charged_cycles);
     }
 
-    /// Prices a traversal's events; returns the serialized lookup latency.
-    fn price_traversal(&mut self, t: &Traversal, _charge_latency: bool) -> u64 {
+    /// Folds a traversal into the hierarchy statistics and prices its
+    /// events, one pass per event list instead of a statistics pass
+    /// (`absorb_stats`) followed by a pricing pass over the same short
+    /// vectors. The energy accumulators are charged in exactly the order
+    /// the separate pricing pass used — the f64 sums are order-sensitive
+    /// and pinned by the golden tests — while the integer statistics
+    /// commute and ride along. Returns the serialized lookup latency.
+    fn absorb_and_price(&mut self, t: &Traversal) -> u64 {
+        let stats = self.hierarchy.stats_mut();
         let mut latency = 0u64;
         let phased_mech = self.cfg.mechanism == Mechanism::Phased;
         for &(lvl, hit) in &t.lookups {
+            let s = &mut stats.levels[lvl as usize];
+            s.lookups += 1;
+            if hit {
+                s.hits += 1;
+            }
             let spec = &self.cfg.platform.levels[lvl as usize];
             let phased = phased_mech && spec.tag_energy_nj > 0.0;
             let (nj, cyc) = if phased {
@@ -542,15 +673,19 @@ impl<O: SimObserver> System<O> {
             latency += cyc;
         }
         let acc = self.cfg.accounting;
-        if acc.charge_fills {
-            for &lvl in &t.fills {
+        for &lvl in &t.fills {
+            stats.levels[lvl as usize].fills += 1;
+            if acc.charge_fills {
                 let spec = &self.cfg.platform.levels[lvl as usize];
                 self.energy.add_level(lvl as usize, spec.data_energy_nj);
             }
         }
-        if acc.charge_writebacks {
-            for &lvl in &t.writebacks {
-                if lvl != MEMORY {
+        for &lvl in &t.writebacks {
+            if lvl == MEMORY {
+                stats.memory_writebacks += 1;
+            } else {
+                stats.levels[lvl as usize].writebacks_in += 1;
+                if acc.charge_writebacks {
                     let spec = &self.cfg.platform.levels[lvl as usize];
                     self.energy.add_level(lvl as usize, spec.data_energy_nj);
                 }
@@ -564,6 +699,9 @@ impl<O: SimObserver> System<O> {
                 self.energy.add_level(lvl as usize, spec.tag_energy_nj);
             }
         }
+        if t.hit_level.is_none() && !t.fills.is_empty() {
+            stats.memory_fetches += 1;
+        }
         latency
     }
 
@@ -576,21 +714,30 @@ impl<O: SimObserver> System<O> {
             return;
         }
         let candidates = std::mem::take(&mut self.pf_buf);
+        let mut pf_t = std::mem::take(&mut self.pf_t);
         for &addr in &candidates {
             let block = addr >> self.block_bits;
             self.pf_summary.issued += 1;
-            let mut pf_t = std::mem::take(&mut self.pf_t);
             pf_t.clear();
 
             // ReDHiP/CBF filter the prefetch exactly like a demand miss.
             let mut filtered = false;
-            if let PredictorState::Single(p) = &self.predictor {
-                if self.cfg.count_prediction_overhead {
-                    self.energy.add_predictor(self.pt_spec.access_energy_nj);
+            match &self.predictor {
+                PredictorState::Table(table) => {
+                    if self.cfg.count_prediction_overhead {
+                        self.energy.add_predictor(self.pt_spec.access_energy_nj);
+                    }
+                    filtered = !table.test(block);
                 }
-                if p.predict(block) == Prediction::Absent {
-                    filtered = true;
+                PredictorState::Single(p) => {
+                    if self.cfg.count_prediction_overhead {
+                        self.energy.add_predictor(self.pt_spec.access_energy_nj);
+                    }
+                    if p.predict(block) == Prediction::Absent {
+                        filtered = true;
+                    }
                 }
+                _ => {}
             }
 
             let mut resident = false;
@@ -629,8 +776,8 @@ impl<O: SimObserver> System<O> {
                 self.energy.add_level(lvl as usize, spec.data_energy_nj);
             }
             self.apply_predictor_updates(core, &pf_t);
-            self.pf_t = pf_t;
         }
+        self.pf_t = pf_t;
         self.pf_buf = candidates;
     }
 
@@ -659,6 +806,14 @@ impl<O: SimObserver> System<O> {
     /// Predictor outcome counters.
     pub fn prediction_stats(&self) -> PredictionStats {
         self.pred_stats
+    }
+
+    /// Recalibrations performed so far. The run loop polls this once per
+    /// reference (a recalibration shifts every core's clock), so it is a
+    /// dedicated accessor rather than a [`PredictionStats`] copy.
+    #[inline]
+    pub fn recalibration_count(&self) -> u64 {
+        self.pred_stats.recalibrations
     }
 
     /// Prefetch outcome counters.
