@@ -3,13 +3,19 @@
 //! These go beyond the paper's own sweeps: each isolates one design choice
 //! of ReDHiP (or of our energy accounting) and quantifies it on a
 //! representative workload subset.
+//!
+//! Like `figures`, every study is split into a `plan_*` half that
+//! enumerates cells into a shared [`SweepPlan`] and a `*_from` half that
+//! renders from the sweep's results; the base cells dedupe against the
+//! Figure 6–10 matrix when both are planned into one job graph.
 
 use crate::figures::{FigureOutput, Settings};
-use crate::harness::{mechanism_config, run_parallel_hb, run_workload};
+use crate::harness::{mechanism_config, run_plan};
 use crate::table::TextTable;
 use minijson::json;
 use sim::metrics::mean;
-use sim::{Comparison, Mechanism, SimConfig};
+use sim::{Comparison, Mechanism, RunResult, SimConfig};
+use sweep::{CellId, SweepPlan, SweepResults};
 use workloads::Benchmark;
 
 /// Representative subset: irregular (mcf), streaming (lbm), skewed
@@ -27,29 +33,36 @@ fn cfg_for(s: &Settings, mechanism: Mechanism) -> SimConfig {
     mechanism_config(s.scale, mechanism, s.refs)
 }
 
-/// Runs base + N variants per workload and tabulates `metric` per variant.
-fn variant_study(
+/// Plans base + `variants` configs per workload, stride-ordered
+/// (base first, then each variant).
+fn plan_variants(
     s: &Settings,
     workloads: &[Benchmark],
+    variants: usize,
+    make_cfg: impl Fn(usize) -> SimConfig,
+    plan: &mut SweepPlan,
+) -> Vec<CellId> {
+    let scale = s.scale.workload_scale();
+    let mut ids = Vec::new();
+    for &w in workloads {
+        ids.push(plan.cell(&cfg_for(s, Mechanism::Base), w, scale));
+        for vi in 0..variants {
+            ids.push(plan.cell(&make_cfg(vi), w, scale));
+        }
+    }
+    ids
+}
+
+/// Tabulates `metric` per variant from the planned base + variant cells.
+fn variants_from(
+    workloads: &[Benchmark],
     variant_names: &[String],
-    make_cfg: impl Fn(usize) -> SimConfig + Sync,
+    ids: &[CellId],
+    res: &SweepResults,
     metric: impl Fn(&Comparison) -> f64,
     fmt: impl Fn(f64) -> String,
 ) -> (TextTable, Vec<Vec<f64>>) {
-    let mut jobs: Vec<(Option<usize>, Benchmark)> = Vec::new();
-    for &w in workloads {
-        jobs.push((None, w));
-        for vi in 0..variant_names.len() {
-            jobs.push((Some(vi), w));
-        }
-    }
-    let outs = run_parallel_hb("[figures] ablation-energy", jobs, |&(variant, w)| {
-        let cfg = match variant {
-            None => cfg_for(s, Mechanism::Base),
-            Some(vi) => make_cfg(vi),
-        };
-        run_workload(&cfg, w, s.scale)
-    });
+    let outs: Vec<RunResult> = ids.iter().map(|&id| res.get(id).clone()).collect();
     let stride = variant_names.len() + 1;
     let mut header = vec!["workload".to_string()];
     header.extend(variant_names.iter().cloned());
@@ -75,20 +88,96 @@ fn variant_study(
     (t, series)
 }
 
+/// Plans paired (Base, ReDHiP) cells per variant per workload — for
+/// studies where the base must share the variant's knob (accounting,
+/// replacement) so the ratio never mixes schemes.
+fn plan_paired(
+    s: &Settings,
+    workloads: &[Benchmark],
+    variants: usize,
+    make_cfg: impl Fn(usize, Mechanism) -> SimConfig,
+    plan: &mut SweepPlan,
+) -> Vec<CellId> {
+    let scale = s.scale.workload_scale();
+    let mut ids = Vec::new();
+    for &w in workloads {
+        for vi in 0..variants {
+            for mech in [Mechanism::Base, Mechanism::Redhip] {
+                ids.push(plan.cell(&make_cfg(vi, mech), w, scale));
+            }
+        }
+    }
+    ids
+}
+
+/// Tabulates ReDHiP's dynamic saving per variant from paired cells.
+fn paired_from(
+    workloads: &[Benchmark],
+    variant_names: &[String],
+    ids: &[CellId],
+    res: &SweepResults,
+) -> (TextTable, Vec<Vec<f64>>) {
+    let outs: Vec<RunResult> = ids.iter().map(|&id| res.get(id).clone()).collect();
+    let stride = variant_names.len() * 2;
+    let mut header = vec!["workload".to_string()];
+    header.extend(variant_names.iter().cloned());
+    let hdr: Vec<&str> = header.iter().map(|h| h.as_str()).collect();
+    let mut t = TextTable::new(&hdr);
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); variant_names.len()];
+    for (wi, &w) in workloads.iter().enumerate() {
+        let mut row = vec![w.name().to_string()];
+        for (vi, col) in series.iter_mut().enumerate() {
+            let base = &outs[wi * stride + vi * 2];
+            let red = &outs[wi * stride + vi * 2 + 1];
+            let c = Comparison::new(base, red);
+            col.push(c.dynamic_saving());
+            row.push(TextTable::pct(c.dynamic_saving()));
+        }
+        t.row(row);
+    }
+    let mut avg = vec!["average".to_string()];
+    for col in &series {
+        avg.push(TextTable::pct(mean(col)));
+    }
+    t.row(avg);
+    (t, series)
+}
+
 /// A1 — CBF counter width under the fixed 512 KB-equivalent budget:
 /// narrower counters buy more entries but overflow (disable) more often.
 pub fn cbf_counter_width(s: &Settings) -> FigureOutput {
-    let widths = [2u32, 3, 4, 6];
-    let names: Vec<String> = widths.iter().map(|w| format!("{w}-bit")).collect();
-    let (t, series) = variant_study(
+    let mut plan = SweepPlan::new();
+    let ids = plan_cbf_counter_width(s, &mut plan);
+    let res = run_plan(&plan, "[figures] ablation-cbf-width");
+    cbf_counter_width_from(s, &ids, &res)
+}
+
+const CBF_WIDTHS: [u32; 4] = [2, 3, 4, 6];
+
+/// Enumerates the CBF counter-width study into `plan`.
+pub fn plan_cbf_counter_width(s: &Settings, plan: &mut SweepPlan) -> Vec<CellId> {
+    plan_variants(
         s,
         &ablation_workloads(),
-        &names,
+        CBF_WIDTHS.len(),
         |vi| {
             let mut cfg = cfg_for(s, Mechanism::Cbf);
-            cfg.cbf.counter_bits = widths[vi];
+            cfg.cbf.counter_bits = CBF_WIDTHS[vi];
             cfg
         },
+        plan,
+    )
+}
+
+/// Renders the CBF counter-width study from a finished sweep.
+pub fn cbf_counter_width_from(s: &Settings, ids: &[CellId], res: &SweepResults) -> FigureOutput {
+    let _ = s;
+    let names: Vec<String> = CBF_WIDTHS.iter().map(|w| format!("{w}-bit")).collect();
+    let (t, series) = variants_from(
+        &ablation_workloads(),
+        &names,
+        ids,
+        res,
         |c| c.dynamic_ratio(),
         TextTable::ratio,
     );
@@ -96,7 +185,7 @@ pub fn cbf_counter_width(s: &Settings) -> FigureOutput {
         name: "ablate_cbf_width",
         title: "CBF counter width at fixed budget".into(),
         json: json!({
-            "counter_bits": widths,
+            "counter_bits": CBF_WIDTHS,
             "dynamic_ratio": &series,
             "averages": series.iter().map(|x| mean(x)).collect::<Vec<_>>(),
         }),
@@ -111,17 +200,38 @@ pub fn cbf_counter_width(s: &Settings) -> FigureOutput {
 /// (energy is constant), so this measures the latency side of the paper's
 /// "medium effort" choice.
 pub fn recalib_banking(s: &Settings) -> FigureOutput {
-    let banks = [1u64, 2, 4, 8];
-    let names: Vec<String> = banks.iter().map(|b| format!("{b} bank")).collect();
-    let (t, series) = variant_study(
+    let mut plan = SweepPlan::new();
+    let ids = plan_recalib_banking(s, &mut plan);
+    let res = run_plan(&plan, "[figures] ablation-banking");
+    recalib_banking_from(s, &ids, &res)
+}
+
+const RECALIB_BANKS: [u64; 4] = [1, 2, 4, 8];
+
+/// Enumerates the recalibration-banking study into `plan`.
+pub fn plan_recalib_banking(s: &Settings, plan: &mut SweepPlan) -> Vec<CellId> {
+    plan_variants(
         s,
         &ablation_workloads(),
-        &names,
+        RECALIB_BANKS.len(),
         |vi| {
             let mut cfg = cfg_for(s, Mechanism::Redhip);
-            cfg.recalib_banks = banks[vi];
+            cfg.recalib_banks = RECALIB_BANKS[vi];
             cfg
         },
+        plan,
+    )
+}
+
+/// Renders the recalibration-banking study from a finished sweep.
+pub fn recalib_banking_from(s: &Settings, ids: &[CellId], res: &SweepResults) -> FigureOutput {
+    let _ = s;
+    let names: Vec<String> = RECALIB_BANKS.iter().map(|b| format!("{b} bank")).collect();
+    let (t, series) = variants_from(
+        &ablation_workloads(),
+        &names,
+        ids,
+        res,
         |c| c.speedup(),
         TextTable::pct,
     );
@@ -129,7 +239,7 @@ pub fn recalib_banking(s: &Settings) -> FigureOutput {
         name: "ablate_recalib_banking",
         title: "Recalibration banking degree".into(),
         json: json!({
-            "banks": banks,
+            "banks": RECALIB_BANKS,
             "speedup": &series,
             "averages": series.iter().map(|x| mean(x)).collect::<Vec<_>>(),
         }),
@@ -145,11 +255,18 @@ pub fn recalib_banking(s: &Settings) -> FigureOutput {
 /// deliver, at 32× the storage). The gap is the accuracy still lost to
 /// staleness at the default period.
 pub fn entry_width(s: &Settings) -> FigureOutput {
-    let names = vec!["1-bit+recalib".to_string(), "exact counters".to_string()];
-    let (t, series) = variant_study(
+    let mut plan = SweepPlan::new();
+    let ids = plan_entry_width(s, &mut plan);
+    let res = run_plan(&plan, "[figures] ablation-entry-width");
+    entry_width_from(s, &ids, &res)
+}
+
+/// Enumerates the entry-width study into `plan`.
+pub fn plan_entry_width(s: &Settings, plan: &mut SweepPlan) -> Vec<CellId> {
+    plan_variants(
         s,
         &ablation_workloads(),
-        &names,
+        2,
         |vi| {
             let mut cfg = cfg_for(s, Mechanism::Redhip);
             cfg.count_prediction_overhead = false;
@@ -158,6 +275,19 @@ pub fn entry_width(s: &Settings) -> FigureOutput {
             }
             cfg
         },
+        plan,
+    )
+}
+
+/// Renders the entry-width study from a finished sweep.
+pub fn entry_width_from(s: &Settings, ids: &[CellId], res: &SweepResults) -> FigureOutput {
+    let _ = s;
+    let names = vec!["1-bit+recalib".to_string(), "exact counters".to_string()];
+    let (t, series) = variants_from(
+        &ablation_workloads(),
+        &names,
+        ids,
+        res,
         |c| c.dynamic_ratio(),
         TextTable::ratio,
     );
@@ -176,64 +306,49 @@ pub fn entry_width(s: &Settings) -> FigureOutput {
     }
 }
 
-/// A4 — energy-accounting sensitivity: does charging fills/writebacks/
-/// back-invalidation probes change ReDHiP's *relative* savings?
-pub fn accounting(s: &Settings) -> FigureOutput {
-    let names = vec![
+fn accounting_names() -> Vec<String> {
+    vec![
         "lookups only".to_string(),
         "+fills".to_string(),
         "+writebacks".to_string(),
         "+probes".to_string(),
-    ];
-    let make_acc = |vi: usize| sim::AccountingOptions {
-        charge_fills: vi >= 1,
-        charge_writebacks: vi >= 2,
-        charge_invalidation_probes: vi >= 3,
-    };
-    // Variant study with a twist: the BASE must use the same accounting as
-    // the variant, otherwise ratios mix accounting schemes.
-    let workloads = ablation_workloads();
-    let mut jobs: Vec<(usize, bool, Benchmark)> = Vec::new();
-    for &w in &workloads {
-        for vi in 0..names.len() {
-            jobs.push((vi, false, w));
-            jobs.push((vi, true, w));
-        }
-    }
-    let outs = run_parallel_hb("[figures] ablation-accounting", jobs, |&(vi, redhip, w)| {
-        let mut cfg = cfg_for(
-            s,
-            if redhip {
-                Mechanism::Redhip
-            } else {
-                Mechanism::Base
-            },
-        );
-        cfg.accounting = make_acc(vi);
-        run_workload(&cfg, w, s.scale)
-    });
-    let stride = names.len() * 2;
-    let mut header = vec!["workload".to_string()];
-    header.extend(names.iter().cloned());
-    let hdr: Vec<&str> = header.iter().map(|h| h.as_str()).collect();
-    let mut t = TextTable::new(&hdr);
-    let mut series: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
-    for (wi, &w) in workloads.iter().enumerate() {
-        let mut row = vec![w.name().to_string()];
-        for (vi, col) in series.iter_mut().enumerate() {
-            let base = &outs[wi * stride + vi * 2];
-            let red = &outs[wi * stride + vi * 2 + 1];
-            let c = Comparison::new(base, red);
-            col.push(c.dynamic_saving());
-            row.push(TextTable::pct(c.dynamic_saving()));
-        }
-        t.row(row);
-    }
-    let mut avg = vec!["average".to_string()];
-    for col in &series {
-        avg.push(TextTable::pct(mean(col)));
-    }
-    t.row(avg);
+    ]
+}
+
+/// A4 — energy-accounting sensitivity: does charging fills/writebacks/
+/// back-invalidation probes change ReDHiP's *relative* savings?
+pub fn accounting(s: &Settings) -> FigureOutput {
+    let mut plan = SweepPlan::new();
+    let ids = plan_accounting(s, &mut plan);
+    let res = run_plan(&plan, "[figures] ablation-accounting");
+    accounting_from(s, &ids, &res)
+}
+
+/// Enumerates the accounting-sensitivity study into `plan`. The BASE uses
+/// the same accounting as the variant, otherwise ratios mix schemes.
+pub fn plan_accounting(s: &Settings, plan: &mut SweepPlan) -> Vec<CellId> {
+    plan_paired(
+        s,
+        &ablation_workloads(),
+        accounting_names().len(),
+        |vi, mech| {
+            let mut cfg = cfg_for(s, mech);
+            cfg.accounting = sim::AccountingOptions {
+                charge_fills: vi >= 1,
+                charge_writebacks: vi >= 2,
+                charge_invalidation_probes: vi >= 3,
+            };
+            cfg
+        },
+        plan,
+    )
+}
+
+/// Renders the accounting-sensitivity study from a finished sweep.
+pub fn accounting_from(s: &Settings, ids: &[CellId], res: &SweepResults) -> FigureOutput {
+    let _ = s;
+    let names = accounting_names();
+    let (t, series) = paired_from(&ablation_workloads(), &names, ids, res);
     FigureOutput {
         name: "ablate_accounting",
         title: "Energy-accounting sensitivity".into(),
@@ -249,66 +364,53 @@ pub fn accounting(s: &Settings) -> FigureOutput {
     }
 }
 
-/// A5 — replacement policy: is the benefit robust to the LLC replacement
-/// policy (LRU vs tree-PLRU vs SRRIP vs random)?
-pub fn replacement(s: &Settings) -> FigureOutput {
+fn replacement_policies() -> [cache_sim::ReplacementPolicy; 4] {
     use cache_sim::ReplacementPolicy;
-    let policies = [
+    [
         ReplacementPolicy::Lru,
         ReplacementPolicy::TreePlru,
         ReplacementPolicy::Srrip,
         ReplacementPolicy::Random,
-    ];
-    let names: Vec<String> = ["LRU", "TreePLRU", "SRRIP", "Random"]
+    ]
+}
+
+fn replacement_names() -> Vec<String> {
+    ["LRU", "TreePLRU", "SRRIP", "Random"]
         .iter()
         .map(|s| s.to_string())
-        .collect();
-    let workloads = ablation_workloads();
-    let mut jobs: Vec<(usize, bool, Benchmark)> = Vec::new();
-    for &w in &workloads {
-        for vi in 0..policies.len() {
-            jobs.push((vi, false, w));
-            jobs.push((vi, true, w));
-        }
-    }
-    let outs = run_parallel_hb(
-        "[figures] ablation-sensitivity",
-        jobs,
-        |&(vi, redhip, w)| {
-            let mut cfg = cfg_for(
-                s,
-                if redhip {
-                    Mechanism::Redhip
-                } else {
-                    Mechanism::Base
-                },
-            );
+        .collect()
+}
+
+/// A5 — replacement policy: is the benefit robust to the LLC replacement
+/// policy (LRU vs tree-PLRU vs SRRIP vs random)?
+pub fn replacement(s: &Settings) -> FigureOutput {
+    let mut plan = SweepPlan::new();
+    let ids = plan_replacement(s, &mut plan);
+    let res = run_plan(&plan, "[figures] ablation-replacement");
+    replacement_from(s, &ids, &res)
+}
+
+/// Enumerates the replacement-policy study into `plan`.
+pub fn plan_replacement(s: &Settings, plan: &mut SweepPlan) -> Vec<CellId> {
+    let policies = replacement_policies();
+    plan_paired(
+        s,
+        &ablation_workloads(),
+        policies.len(),
+        |vi, mech| {
+            let mut cfg = cfg_for(s, mech);
             cfg.replacement = policies[vi];
-            run_workload(&cfg, w, s.scale)
+            cfg
         },
-    );
-    let stride = policies.len() * 2;
-    let mut header = vec!["workload".to_string()];
-    header.extend(names.iter().cloned());
-    let hdr: Vec<&str> = header.iter().map(|h| h.as_str()).collect();
-    let mut t = TextTable::new(&hdr);
-    let mut series: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for (wi, &w) in workloads.iter().enumerate() {
-        let mut row = vec![w.name().to_string()];
-        for (vi, col) in series.iter_mut().enumerate() {
-            let base = &outs[wi * stride + vi * 2];
-            let red = &outs[wi * stride + vi * 2 + 1];
-            let c = Comparison::new(base, red);
-            col.push(c.dynamic_saving());
-            row.push(TextTable::pct(c.dynamic_saving()));
-        }
-        t.row(row);
-    }
-    let mut avg = vec!["average".to_string()];
-    for col in &series {
-        avg.push(TextTable::pct(mean(col)));
-    }
-    t.row(avg);
+        plan,
+    )
+}
+
+/// Renders the replacement-policy study from a finished sweep.
+pub fn replacement_from(s: &Settings, ids: &[CellId], res: &SweepResults) -> FigureOutput {
+    let _ = s;
+    let names = replacement_names();
+    let (t, series) = paired_from(&ablation_workloads(), &names, ids, res);
     FigureOutput {
         name: "ablate_replacement",
         title: "Replacement-policy robustness".into(),
@@ -324,15 +426,43 @@ pub fn replacement(s: &Settings) -> FigureOutput {
     }
 }
 
+/// Planned cell ids for all five ablations.
+pub struct AblationPlan {
+    cbf: Vec<CellId>,
+    banking: Vec<CellId>,
+    entry: Vec<CellId>,
+    accounting: Vec<CellId>,
+    replacement: Vec<CellId>,
+}
+
+/// Enumerates every ablation into `plan`.
+pub fn plan_all(s: &Settings, plan: &mut SweepPlan) -> AblationPlan {
+    AblationPlan {
+        cbf: plan_cbf_counter_width(s, plan),
+        banking: plan_recalib_banking(s, plan),
+        entry: plan_entry_width(s, plan),
+        accounting: plan_accounting(s, plan),
+        replacement: plan_replacement(s, plan),
+    }
+}
+
+/// Renders every ablation from a finished sweep, in report order.
+pub fn all_from(s: &Settings, p: &AblationPlan, res: &SweepResults) -> Vec<FigureOutput> {
+    vec![
+        cbf_counter_width_from(s, &p.cbf, res),
+        recalib_banking_from(s, &p.banking, res),
+        entry_width_from(s, &p.entry, res),
+        accounting_from(s, &p.accounting, res),
+        replacement_from(s, &p.replacement, res),
+    ]
+}
+
 /// Runs all ablations.
 pub fn all(s: &Settings) -> Vec<FigureOutput> {
-    vec![
-        cbf_counter_width(s),
-        recalib_banking(s),
-        entry_width(s),
-        accounting(s),
-        replacement(s),
-    ]
+    let mut plan = SweepPlan::new();
+    let p = plan_all(s, &mut plan);
+    let res = run_plan(&plan, "[figures] ablations");
+    all_from(s, &p, &res)
 }
 
 #[cfg(test)]
@@ -356,5 +486,15 @@ mod tests {
     fn accounting_runs() {
         let f = accounting(&smoke());
         assert!(f.text.contains("+probes"));
+    }
+
+    #[test]
+    fn planned_ablations_dedupe_their_base_cells() {
+        let s = smoke();
+        let mut plan = SweepPlan::new();
+        let _ = plan_all(&s, &mut plan);
+        // cbf and banking each request 4 base cells; they collide with
+        // each other (and entry-width's overhead-free cells do not).
+        assert!(plan.dedup_hits() >= 4, "dedup_hits={}", plan.dedup_hits());
     }
 }

@@ -14,6 +14,7 @@
 use minijson::{json, Json};
 use sim::{run_traces, CoreTrace, Mechanism, SimConfig};
 use std::time::Instant;
+use sweep::{SweepEngine, SweepPlan};
 use workloads::{Benchmark, Scale};
 
 /// Schema tag written into every snapshot.
@@ -37,6 +38,8 @@ pub struct BenchOptions {
     pub samples: usize,
     /// Workload generating the trace.
     pub benchmark: Benchmark,
+    /// Worker threads for the sweep-level aggregate measurement.
+    pub jobs: usize,
 }
 
 impl Default for BenchOptions {
@@ -45,6 +48,7 @@ impl Default for BenchOptions {
             refs_per_core: 5_000,
             samples: 3,
             benchmark: Benchmark::Mcf,
+            jobs: sweep::default_jobs(),
         }
     }
 }
@@ -80,6 +84,29 @@ pub fn measure(opts: &BenchOptions) -> Json {
             "refs_per_sec": total_refs as f64 / best,
         }));
     }
+    // Sweep-level aggregate: all five mechanisms as one deduplicated job
+    // graph on the work-stealing engine. A fresh engine per sample keeps
+    // the memoizing cache from short-circuiting the later samples.
+    let jobs = opts.jobs.max(1);
+    let mut best_sweep = f64::INFINITY;
+    for _ in 0..opts.samples.max(1) {
+        let mut plan = SweepPlan::new();
+        for mech in MECHANISMS {
+            plan.cell(
+                &config(mech, opts.refs_per_core),
+                opts.benchmark,
+                Scale::Smoke,
+            );
+        }
+        let engine = SweepEngine::new(jobs).quiet();
+        let start = Instant::now();
+        let r = engine.run(&plan, "[bench] sweep").expect("sweep run");
+        let took = start.elapsed().as_secs_f64();
+        assert_eq!(r.stats.simulated, MECHANISMS.len() as u64, "cells skipped");
+        best_sweep = best_sweep.min(took);
+    }
+    let sweep_refs = total_refs * MECHANISMS.len() as u64;
+
     json!({
         "schema": SCHEMA,
         "benchmark": opts.benchmark.to_string(),
@@ -89,7 +116,19 @@ pub fn measure(opts: &BenchOptions) -> Json {
         "total_refs": total_refs,
         "samples": opts.samples as u64,
         "results": Json::Arr(results),
+        "sweep": json!({
+            "jobs": jobs as u64,
+            "cells": MECHANISMS.len() as u64,
+            "total_refs": sweep_refs,
+            "ns_per_run": best_sweep * 1e9,
+            "refs_per_sec": sweep_refs as f64 / best_sweep,
+        }),
     })
+}
+
+/// Aggregate sweep throughput of a snapshot, if recorded (PR 6+).
+fn sweep_refs_per_sec(doc: &Json) -> Option<f64> {
+    doc.get("sweep")?.f64_of("refs_per_sec").ok()
 }
 
 fn refs_per_sec(doc: &Json, mechanism: &str) -> Option<f64> {
@@ -110,6 +149,14 @@ pub fn render(doc: &Json) -> String {
         if let Some(rps) = refs_per_sec(doc, mech.name()) {
             let _ = writeln!(out, "{:<10} {rps:>14.0}", mech.name());
         }
+    }
+    if let Some(rps) = sweep_refs_per_sec(doc) {
+        let jobs = doc
+            .get("sweep")
+            .and_then(|s| s.get("jobs"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let _ = writeln!(out, "{:<10} {rps:>14.0}  ({jobs} job(s))", "sweep");
     }
     out
 }
@@ -139,6 +186,17 @@ pub fn compare(old: &Json, new: &Json) -> String {
         n += 1;
         let _ = writeln!(out, "{:<10} {a:>14.0} {b:>14.0} {ratio:>7.2}x", mech.name());
     }
+    // The sweep aggregate is informational (absent from pre-PR6 snapshots)
+    // and excluded from the geomean, which stays per-mechanism.
+    match (sweep_refs_per_sec(old), sweep_refs_per_sec(new)) {
+        (Some(a), Some(b)) => {
+            let _ = writeln!(out, "{:<10} {a:>14.0} {b:>14.0} {:>7.2}x", "sweep", b / a);
+        }
+        (None, Some(b)) => {
+            let _ = writeln!(out, "{:<10} {:>14} {b:>14.0}", "sweep", "-");
+        }
+        _ => {}
+    }
     if n > 0 {
         let _ = writeln!(out, "geomean speedup: {:.2}x", (log_sum / n as f64).exp());
     }
@@ -154,6 +212,7 @@ mod tests {
             refs_per_core: 200,
             samples: 1,
             benchmark: Benchmark::Mcf,
+            jobs: 2,
         })
     }
 
@@ -173,6 +232,31 @@ mod tests {
         let text = doc.pretty();
         let parsed = minijson::parse(&text).expect("valid JSON");
         assert_eq!(refs_per_sec(&parsed, "Base"), refs_per_sec(&doc, "Base"));
+    }
+
+    #[test]
+    fn snapshot_records_sweep_aggregate() {
+        let doc = tiny();
+        let rps = sweep_refs_per_sec(&doc).expect("sweep section present");
+        assert!(rps > 0.0);
+        assert_eq!(
+            doc.get("sweep")
+                .and_then(|s| s.get("cells"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+        assert!(render(&doc).contains("sweep"));
+    }
+
+    #[test]
+    fn compare_tolerates_missing_sweep_section() {
+        let new = tiny();
+        // A pre-PR6 snapshot: same document minus the sweep section.
+        let mut old = new.clone();
+        old.set("sweep", Json::Null);
+        let table = compare(&old, &new);
+        assert!(table.contains("geomean speedup: 1.00x"), "{table}");
+        assert!(table.contains("sweep"), "{table}");
     }
 
     #[test]

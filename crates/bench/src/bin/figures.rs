@@ -2,10 +2,18 @@
 //!
 //! ```text
 //! figures [TARGETS...] [--scale smoke|demo|paper] [--refs N] [--out DIR]
+//!         [--jobs N] [--cache] [--cache-dir DIR]
 //!
 //! TARGETS: all (default) | table1 | fig1 | fig6..fig15 | core (fig6-10)
 //!          | sweeps (fig11-13) | prefetch (fig14-15) | ablations
 //! ```
+//!
+//! Every requested figure's cells are enumerated into ONE deduplicated job
+//! graph and run on the work-stealing sweep engine, so a cell shared by
+//! several figures (e.g. the Base runs of Figures 6–12) is simulated
+//! exactly once. `--jobs N` (or `REDHIP_JOBS`) sets the worker count;
+//! output is byte-identical regardless. `--cache` memoizes results on disk
+//! under `DIR/cache/` so re-runs skip finished cells.
 //!
 //! Text renders to stdout; structured results land in `DIR/<name>.json`
 //! (default `results/`).
@@ -16,11 +24,12 @@ use bench::{ablate, figdata};
 use std::collections::BTreeSet;
 use std::io::Write;
 use std::path::PathBuf;
+use sweep::{default_jobs, ResultCache, SweepEngine, SweepPlan};
 
 fn usage() -> ! {
     eprintln!(
         "usage: figures [all|core|sweeps|prefetch|ablations|table1|fig1|fig6..fig15]... \
-         [--scale smoke|demo|paper] [--refs N] [--out DIR]"
+         [--scale smoke|demo|paper] [--refs N] [--out DIR] [--jobs N] [--cache] [--cache-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -30,6 +39,8 @@ struct Args {
     scale: FigureScale,
     refs: Option<usize>,
     out: PathBuf,
+    jobs: Option<usize>,
+    cache_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +48,9 @@ fn parse_args() -> Args {
     let mut scale = FigureScale::Demo;
     let mut refs = None;
     let mut out = PathBuf::from("results");
+    let mut jobs = None;
+    let mut cache = false;
+    let mut cache_dir = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -51,6 +65,18 @@ fn parse_args() -> Args {
             "--out" => {
                 out = PathBuf::from(it.next().unwrap_or_else(|| usage()));
             }
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let n: usize = v.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                jobs = Some(n);
+            }
+            "--cache" => cache = true,
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
             "--help" | "-h" => usage(),
             t if t.starts_with('-') => usage(),
             t => {
@@ -61,11 +87,25 @@ fn parse_args() -> Args {
     if targets.is_empty() {
         targets.insert("all".to_string());
     }
+    // `--cache` without a directory uses `<out>/cache`; the env var is the
+    // no-flag way to point several runs at one shared cache.
+    if cache_dir.is_none() {
+        if let Ok(dir) = std::env::var("REDHIP_SWEEP_CACHE") {
+            if !dir.trim().is_empty() {
+                cache_dir = Some(PathBuf::from(dir));
+            }
+        }
+    }
+    if cache && cache_dir.is_none() {
+        cache_dir = Some(out.join("cache"));
+    }
     Args {
         targets,
         scale,
         refs,
         out,
+        jobs,
+        cache_dir,
     }
 }
 
@@ -86,11 +126,13 @@ fn emit(args: &Args, f: &FigureOutput) {
 fn main() {
     let args = parse_args();
     let settings = Settings::new(args.scale, args.refs);
+    let jobs = args.jobs.unwrap_or_else(default_jobs);
     eprintln!(
-        "[figures] scale={:?} refs/core={} workloads={} targets={:?}",
+        "[figures] scale={:?} refs/core={} workloads={} jobs={} targets={:?}",
         args.scale,
         settings.refs,
         settings.workloads.len(),
+        jobs,
         args.targets
     );
     let t0 = std::time::Instant::now();
@@ -115,11 +157,48 @@ fn main() {
         );
     }
 
+    // Phase 1: enumerate every requested figure's cells into one plan.
+    // Cells shared across figures dedupe here and are simulated once.
+    let mut plan = SweepPlan::new();
     let need_matrix = ["fig6", "fig7", "fig8", "fig9", "fig10"]
         .iter()
         .any(|n| wants(&args, n, "core"));
-    if need_matrix {
-        let m = figures::run_matrix(&settings);
+    let matrix_plan = need_matrix.then(|| figures::plan_matrix(&settings, &mut plan));
+    let p11 = wants(&args, "fig11", "sweeps").then(|| figures::plan_fig11(&settings, &mut plan));
+    let p12 = wants(&args, "fig12", "sweeps").then(|| figures::plan_fig12(&settings, &mut plan));
+    let p13 = wants(&args, "fig13", "sweeps").then(|| figures::plan_fig13(&settings, &mut plan));
+    let p1415 = (wants(&args, "fig14", "prefetch") || wants(&args, "fig15", "prefetch"))
+        .then(|| figures::plan_fig14_15(&settings, &mut plan));
+    let want_ablations = args.targets.contains("ablations") || args.targets.contains("all");
+    let ablation_settings = {
+        let mut s = settings.clone();
+        s.workloads = ablate::ablation_workloads();
+        s
+    };
+    let ablation_plan = want_ablations.then(|| ablate::plan_all(&ablation_settings, &mut plan));
+
+    // Phase 2: one engine, one run over the whole deduplicated job graph.
+    let mut engine = SweepEngine::new(jobs);
+    if let Some(dir) = &args.cache_dir {
+        eprintln!("[figures] result cache: {}", dir.display());
+        engine = engine.with_cache(ResultCache::with_disk(dir.clone()));
+    }
+    eprintln!(
+        "[figures] planned {} unique cells ({} deduped away)",
+        plan.len(),
+        plan.dedup_hits()
+    );
+    let res = match engine.run(&plan, "[figures] sweep") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[figures] {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Phase 3: render and emit in report order.
+    if let Some(mp) = &matrix_plan {
+        let m = figures::matrix_from(&settings, mp, &res);
         if wants(&args, "fig6", "core") {
             emit(&args, &figures::fig6(&m));
         }
@@ -136,18 +215,17 @@ fn main() {
             emit(&args, &figures::fig10(&m));
         }
     }
-
-    if wants(&args, "fig11", "sweeps") {
-        emit(&args, &figures::fig11(&settings));
+    if let Some(p) = &p11 {
+        emit(&args, &figures::fig11_from(&settings, p, &res));
     }
-    if wants(&args, "fig12", "sweeps") {
-        emit(&args, &figures::fig12(&settings));
+    if let Some(p) = &p12 {
+        emit(&args, &figures::fig12_from(&settings, p, &res));
     }
-    if wants(&args, "fig13", "sweeps") {
-        emit(&args, &figures::fig13(&settings));
+    if let Some(p) = &p13 {
+        emit(&args, &figures::fig13_from(&settings, p, &res));
     }
-    if wants(&args, "fig14", "prefetch") || wants(&args, "fig15", "prefetch") {
-        let (f14, f15) = figures::fig14_15(&settings);
+    if let Some(p) = &p1415 {
+        let (f14, f15) = figures::fig14_15_from(&settings, p, &res);
         if wants(&args, "fig14", "prefetch") {
             emit(&args, &f14);
         }
@@ -155,12 +233,11 @@ fn main() {
             emit(&args, &f15);
         }
     }
-    if args.targets.contains("ablations") || args.targets.contains("all") {
-        let mut s = settings.clone();
-        s.workloads = ablate::ablation_workloads();
-        for f in ablate::all(&s) {
+    if let Some(p) = &ablation_plan {
+        for f in ablate::all_from(&ablation_settings, p, &res) {
             emit(&args, &f);
         }
     }
+    eprintln!("[figures] {}", res.stats.summary());
     eprintln!("[figures] done in {:?}", t0.elapsed());
 }

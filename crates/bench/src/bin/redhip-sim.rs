@@ -28,6 +28,9 @@
 //!   --bench-refs N       references per core per timed run (default 5000)
 //!   --bench-samples K    timed runs per mechanism, fastest wins (default
 //!                        3; use 1 for a quick smoke run)
+//!   --jobs N             worker threads for the sweep-level aggregate
+//!                        measurement (default: REDHIP_JOBS, else all
+//!                        host cores)
 //!   --bench-compare A B  print the refs/s ratio table between two
 //!                        previously written snapshots and exit
 //! ```
@@ -146,6 +149,14 @@ fn main() {
                     .unwrap_or_else(|_| usage("bad --bench-samples"));
                 if bench_opts.samples == 0 {
                     usage("--bench-samples must be positive");
+                }
+            }
+            "--jobs" => {
+                bench_opts.jobs = next("--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --jobs"));
+                if bench_opts.jobs == 0 {
+                    usage("--jobs must be positive");
                 }
             }
             "--bench-compare" => {

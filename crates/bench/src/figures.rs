@@ -4,14 +4,22 @@
 //! the `figures` binary prints), a JSON value (what it writes to the
 //! results directory), and the paper's reference numbers for the same
 //! artifact so EXPERIMENTS.md can record paper-vs-measured side by side.
+//!
+//! Each figure is split into a `plan_*` half that enumerates its cells
+//! into a shared [`SweepPlan`] (deduplicating against every other figure's
+//! cells) and a `*_from` half that renders the figure from the sweep's
+//! results. The plain figure functions (`fig11(&s)`, ...) wrap the two for
+//! callers that want a single figure; the `figures` binary plans the whole
+//! requested set into one job graph and runs it once.
 
-use crate::harness::{mechanism_config, run_parallel_hb, run_workload, FigureScale};
+use crate::harness::{mechanism_config, run_plan, FigureScale};
 use crate::table::TextTable;
 use cache_sim::InclusionPolicy;
 use minijson::{json, Json, ToJson};
 use prefetch::StrideConfig;
 use sim::metrics::mean;
 use sim::{Comparison, Mechanism, RunResult, SimConfig};
+use sweep::{CellId, SweepPlan, SweepResults};
 use workloads::Benchmark;
 
 /// Mechanisms compared against Base, in the paper's legend order.
@@ -61,6 +69,10 @@ fn cfg_for(s: &Settings, mechanism: Mechanism) -> SimConfig {
     mechanism_config(s.scale, mechanism, s.refs)
 }
 
+fn ws(s: &Settings) -> workloads::Scale {
+    s.scale.workload_scale()
+}
+
 /// The Base + four-mechanism result matrix shared by Figures 6–10.
 pub struct Matrix {
     /// The settings it ran with.
@@ -71,33 +83,51 @@ pub struct Matrix {
     pub results: Vec<Vec<RunResult>>,
 }
 
-/// Runs the full workload × mechanism matrix (Figures 6–10 share it).
-pub fn run_matrix(s: &Settings) -> Matrix {
-    let mut jobs: Vec<(Option<Mechanism>, Benchmark)> = Vec::new();
-    for &w in &s.workloads {
-        jobs.push((None, w));
-    }
-    for &m in &COMPARED {
-        for &w in &s.workloads {
-            jobs.push((Some(m), w));
-        }
-    }
-    let outs = run_parallel_hb("[figures] matrix", jobs, |&(mech, w)| {
-        let cfg = cfg_for(s, mech.unwrap_or(Mechanism::Base));
-        run_workload(&cfg, w, s.scale)
-    });
-    let n = s.workloads.len();
-    let base = outs[..n].to_vec();
+/// Planned cell ids for the Figure 6–10 matrix.
+pub struct MatrixPlan {
+    base: Vec<CellId>,
+    results: Vec<Vec<CellId>>,
+}
+
+/// Enumerates the full workload × mechanism matrix into `plan`.
+pub fn plan_matrix(s: &Settings, plan: &mut SweepPlan) -> MatrixPlan {
+    let scale = ws(s);
+    let base = s
+        .workloads
+        .iter()
+        .map(|&w| plan.cell(&cfg_for(s, Mechanism::Base), w, scale))
+        .collect();
     let results = COMPARED
         .iter()
-        .enumerate()
-        .map(|(i, _)| outs[n * (i + 1)..n * (i + 2)].to_vec())
+        .map(|&m| {
+            s.workloads
+                .iter()
+                .map(|&w| plan.cell(&cfg_for(s, m), w, scale))
+                .collect()
+        })
         .collect();
+    MatrixPlan { base, results }
+}
+
+/// Assembles the [`Matrix`] from a finished sweep.
+pub fn matrix_from(s: &Settings, p: &MatrixPlan, res: &SweepResults) -> Matrix {
     Matrix {
         settings: s.clone(),
-        base,
-        results,
+        base: p.base.iter().map(|&id| res.get(id).clone()).collect(),
+        results: p
+            .results
+            .iter()
+            .map(|ids| ids.iter().map(|&id| res.get(id).clone()).collect())
+            .collect(),
     }
+}
+
+/// Runs the full workload × mechanism matrix (Figures 6–10 share it).
+pub fn run_matrix(s: &Settings) -> Matrix {
+    let mut plan = SweepPlan::new();
+    let p = plan_matrix(s, &mut plan);
+    let res = run_plan(&plan, "[figures] matrix");
+    matrix_from(s, &p, &res)
 }
 
 fn series_table(
@@ -341,36 +371,44 @@ pub fn fig10(m: &Matrix) -> FigureOutput {
 /// as in the paper's accuracy study). Sizes are expressed relative to the
 /// platform default (512 KB paper / 64 KB demo): 4×, 2×, 1×, 1/2, 1/4, 1/8.
 pub fn fig11(s: &Settings) -> FigureOutput {
+    let mut plan = SweepPlan::new();
+    let p = plan_fig11(s, &mut plan);
+    let res = run_plan(&plan, "[figures] fig11");
+    fig11_from(s, &p, &res)
+}
+
+/// Planned cell ids for Figure 11, per workload: base then each PT size.
+pub struct Fig11Plan {
+    sizes: Vec<u64>,
+    ids: Vec<CellId>,
+}
+
+/// Enumerates Figure 11's PT-size sweep into `plan`.
+pub fn plan_fig11(s: &Settings, plan: &mut SweepPlan) -> Fig11Plan {
     let default_bytes = s.scale.platform().predictor.size_bytes;
     let factors: [(u64, u64); 6] = [(4, 1), (2, 1), (1, 1), (1, 2), (1, 4), (1, 8)];
     let sizes: Vec<u64> = factors
         .iter()
         .map(|&(n, d)| default_bytes * n / d)
         .collect();
-
-    let mut jobs: Vec<(Option<u64>, Benchmark)> = Vec::new();
+    let scale = ws(s);
+    let mut ids = Vec::new();
     for &w in &s.workloads {
-        jobs.push((None, w));
+        ids.push(plan.cell(&cfg_for(s, Mechanism::Base), w, scale));
         for &sz in &sizes {
-            jobs.push((Some(sz), w));
-        }
-    }
-    let outs = run_parallel_hb("[figures] fig11", jobs, |&(size, w)| {
-        let mut cfg = cfg_for(
-            s,
-            if size.is_some() {
-                Mechanism::Redhip
-            } else {
-                Mechanism::Base
-            },
-        );
-        if let Some(sz) = size {
+            let mut cfg = cfg_for(s, Mechanism::Redhip);
             cfg.pt_bytes = Some(sz);
             cfg.count_prediction_overhead = false; // the paper's Fig 11 setup
+            ids.push(plan.cell(&cfg, w, scale));
         }
-        run_workload(&cfg, w, s.scale)
-    });
+    }
+    Fig11Plan { sizes, ids }
+}
 
+/// Renders Figure 11 from a finished sweep.
+pub fn fig11_from(s: &Settings, p: &Fig11Plan, res: &SweepResults) -> FigureOutput {
+    let sizes = p.sizes.clone();
+    let outs: Vec<RunResult> = p.ids.iter().map(|&id| res.get(id).clone()).collect();
     let stride = sizes.len() + 1;
     let mut header = vec!["workload".to_string()];
     for &sz in &sizes {
@@ -414,6 +452,20 @@ pub fn fig11(s: &Settings) -> FigureOutput {
 /// Figure 12: dynamic energy vs recalibration period, from every L1 miss
 /// (1) to never. Periods scale with the platform (paper: 1 … 100 M, ∞).
 pub fn fig12(s: &Settings) -> FigureOutput {
+    let mut plan = SweepPlan::new();
+    let p = plan_fig12(s, &mut plan);
+    let res = run_plan(&plan, "[figures] fig12");
+    fig12_from(s, &p, &res)
+}
+
+/// Planned cell ids for Figure 12, per workload: base then each period.
+pub struct Fig12Plan {
+    periods: Vec<Option<u64>>,
+    ids: Vec<CellId>,
+}
+
+/// Enumerates Figure 12's recalibration-period sweep into `plan`.
+pub fn plan_fig12(s: &Settings, plan: &mut SweepPlan) -> Fig12Plan {
     let base_period = s.scale.workload_scale().recalib_period();
     let periods: Vec<Option<u64>> = vec![
         Some(1),
@@ -424,30 +476,24 @@ pub fn fig12(s: &Settings) -> FigureOutput {
         Some(base_period * 64),
         None,
     ];
-
-    let mut jobs: Vec<(Option<Option<u64>>, Benchmark)> = Vec::new();
+    let scale = ws(s);
+    let mut ids = Vec::new();
     for &w in &s.workloads {
-        jobs.push((None, w));
-        for &p in &periods {
-            jobs.push((Some(p), w));
+        ids.push(plan.cell(&cfg_for(s, Mechanism::Base), w, scale));
+        for &period in &periods {
+            let mut cfg = cfg_for(s, Mechanism::Redhip);
+            cfg.recalib_period = period;
+            cfg.count_prediction_overhead = false; // accuracy study
+            ids.push(plan.cell(&cfg, w, scale));
         }
     }
-    let outs = run_parallel_hb("[figures] fig12", jobs, |&(period, w)| {
-        let mut cfg = cfg_for(
-            s,
-            if period.is_some() {
-                Mechanism::Redhip
-            } else {
-                Mechanism::Base
-            },
-        );
-        if let Some(p) = period {
-            cfg.recalib_period = p;
-            cfg.count_prediction_overhead = false; // accuracy study
-        }
-        run_workload(&cfg, w, s.scale)
-    });
+    Fig12Plan { periods, ids }
+}
 
+/// Renders Figure 12 from a finished sweep.
+pub fn fig12_from(s: &Settings, p: &Fig12Plan, res: &SweepResults) -> FigureOutput {
+    let periods = p.periods.clone();
+    let outs: Vec<RunResult> = p.ids.iter().map(|&id| res.get(id).clone()).collect();
     let stride = periods.len() + 1;
     let labels: Vec<String> = periods
         .iter()
@@ -497,24 +543,46 @@ pub fn fig12(s: &Settings) -> FigureOutput {
 /// Figure 13: ReDHiP's dynamic-energy savings under the three inclusion
 /// policies (each normalized to Base under the *same* policy).
 pub fn fig13(s: &Settings) -> FigureOutput {
+    let mut plan = SweepPlan::new();
+    let p = plan_fig13(s, &mut plan);
+    let res = run_plan(&plan, "[figures] fig13");
+    fig13_from(s, &p, &res)
+}
+
+/// Planned cell ids for Figure 13, per workload: (base, redhip) per policy.
+pub struct Fig13Plan {
+    ids: Vec<CellId>,
+}
+
+/// Enumerates Figure 13's inclusion-policy study into `plan`.
+pub fn plan_fig13(s: &Settings, plan: &mut SweepPlan) -> Fig13Plan {
     let policies = [
         InclusionPolicy::Inclusive,
         InclusionPolicy::Hybrid,
         InclusionPolicy::Exclusive,
     ];
-    let mut jobs: Vec<(InclusionPolicy, Mechanism, Benchmark)> = Vec::new();
+    let scale = ws(s);
+    let mut ids = Vec::new();
     for &w in &s.workloads {
-        for &p in &policies {
-            jobs.push((p, Mechanism::Base, w));
-            jobs.push((p, Mechanism::Redhip, w));
+        for &policy in &policies {
+            for mech in [Mechanism::Base, Mechanism::Redhip] {
+                let mut cfg = cfg_for(s, mech);
+                cfg.policy = policy;
+                ids.push(plan.cell(&cfg, w, scale));
+            }
         }
     }
-    let outs = run_parallel_hb("[figures] fig13", jobs, |&(policy, mech, w)| {
-        let mut cfg = cfg_for(s, mech);
-        cfg.policy = policy;
-        run_workload(&cfg, w, s.scale)
-    });
+    Fig13Plan { ids }
+}
 
+/// Renders Figure 13 from a finished sweep.
+pub fn fig13_from(s: &Settings, p: &Fig13Plan, res: &SweepResults) -> FigureOutput {
+    let policies = [
+        InclusionPolicy::Inclusive,
+        InclusionPolicy::Hybrid,
+        InclusionPolicy::Exclusive,
+    ];
+    let outs: Vec<RunResult> = p.ids.iter().map(|&id| res.get(id).clone()).collect();
     let stride = policies.len() * 2;
     let mut t = TextTable::new(&["workload", "Inclusive", "Hybrid", "Exclusive"]);
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
@@ -551,39 +619,62 @@ pub fn fig13(s: &Settings) -> FigureOutput {
     }
 }
 
+#[derive(Clone, Copy)]
+enum PfCfg {
+    Base,
+    SpOnly,
+    RedhipOnly,
+    SpRedhip,
+}
+
+const PF_CONFIGS: [PfCfg; 4] = [
+    PfCfg::Base,
+    PfCfg::SpOnly,
+    PfCfg::RedhipOnly,
+    PfCfg::SpRedhip,
+];
+
 /// Figures 14 & 15: stride prefetching alone, ReDHiP alone, and combined.
 pub fn fig14_15(s: &Settings) -> (FigureOutput, FigureOutput) {
-    #[derive(Clone, Copy)]
-    enum PfCfg {
-        Base,
-        SpOnly,
-        RedhipOnly,
-        SpRedhip,
-    }
-    let configs = [
-        PfCfg::Base,
-        PfCfg::SpOnly,
-        PfCfg::RedhipOnly,
-        PfCfg::SpRedhip,
-    ];
-    let mut jobs: Vec<(usize, Benchmark)> = Vec::new();
-    for &w in &s.workloads {
-        for ci in 0..configs.len() {
-            jobs.push((ci, w));
-        }
-    }
-    let outs = run_parallel_hb("[figures] fig14-15", jobs, |&(ci, w)| {
-        let mut cfg = match configs[ci] {
-            PfCfg::Base | PfCfg::SpOnly => cfg_for(s, Mechanism::Base),
-            PfCfg::RedhipOnly | PfCfg::SpRedhip => cfg_for(s, Mechanism::Redhip),
-        };
-        if matches!(configs[ci], PfCfg::SpOnly | PfCfg::SpRedhip) {
-            cfg.prefetch = Some(StrideConfig::default());
-        }
-        run_workload(&cfg, w, s.scale)
-    });
+    let mut plan = SweepPlan::new();
+    let p = plan_fig14_15(s, &mut plan);
+    let res = run_plan(&plan, "[figures] fig14-15");
+    fig14_15_from(s, &p, &res)
+}
 
-    let stride = configs.len();
+/// Planned cell ids for Figures 14/15, per workload: the four
+/// prefetch × mechanism combinations.
+pub struct Fig1415Plan {
+    ids: Vec<CellId>,
+}
+
+/// Enumerates the prefetch-interaction study into `plan`.
+pub fn plan_fig14_15(s: &Settings, plan: &mut SweepPlan) -> Fig1415Plan {
+    let scale = ws(s);
+    let mut ids = Vec::new();
+    for &w in &s.workloads {
+        for pf in PF_CONFIGS {
+            let mut cfg = match pf {
+                PfCfg::Base | PfCfg::SpOnly => cfg_for(s, Mechanism::Base),
+                PfCfg::RedhipOnly | PfCfg::SpRedhip => cfg_for(s, Mechanism::Redhip),
+            };
+            if matches!(pf, PfCfg::SpOnly | PfCfg::SpRedhip) {
+                cfg.prefetch = Some(StrideConfig::default());
+            }
+            ids.push(plan.cell(&cfg, w, scale));
+        }
+    }
+    Fig1415Plan { ids }
+}
+
+/// Renders Figures 14 and 15 from a finished sweep.
+pub fn fig14_15_from(
+    s: &Settings,
+    p: &Fig1415Plan,
+    res: &SweepResults,
+) -> (FigureOutput, FigureOutput) {
+    let outs: Vec<RunResult> = p.ids.iter().map(|&id| res.get(id).clone()).collect();
+    let stride = PF_CONFIGS.len();
     let names = ["SP only", "ReDHiP only", "SP+ReDHiP"];
     let mut t14 = TextTable::new(&["workload", names[0], names[1], names[2]]);
     let mut t15 = TextTable::new(&["workload", names[0], names[1], names[2]]);

@@ -1,8 +1,12 @@
 //! Shared experiment plumbing: configs, per-workload runs, parallel sweeps.
+//!
+//! Parallel execution rides on the `sweep` crate's work-stealing pool;
+//! worker counts honor `REDHIP_JOBS` (see [`sweep::default_jobs`]).
 
 use energy_model::presets::{demo_scale, table_i};
 use energy_model::PlatformSpec;
 use sim::{run_traces, run_traces_with, Mechanism, RunResult, SimConfig, SimObserver};
+use sweep::{SweepEngine, SweepPlan, SweepResults};
 use workloads::{Benchmark, Scale};
 
 /// Which platform/workload scale an experiment runs at.
@@ -92,56 +96,78 @@ pub fn run_workload_with<O: SimObserver>(
     run_traces_with(&cfg, traces, obs)
 }
 
-/// [`run_parallel`] with a stderr [`telemetry::Heartbeat`]: one tick per
-/// completed job, so long sweeps report jobs/s, % complete and ETA instead
-/// of ad-hoc progress lines.
+/// [`run_parallel`] with a stderr [`telemetry::Heartbeat`]: the workers
+/// bump a shared atomic tick counter and the calling thread drains it into
+/// the heartbeat, so long sweeps report jobs/s, % complete and ETA without
+/// any lock on the job hot path.
 pub fn run_parallel_hb<J, R, F>(label: &str, jobs: Vec<J>, worker: F) -> Vec<R>
 where
     J: Send + Sync,
     R: Send,
     F: Fn(&J) -> R + Sync,
 {
-    let heart = std::sync::Mutex::new(telemetry::Heartbeat::new(label, "jobs", jobs.len() as u64));
-    let out = run_parallel(jobs, |j| {
-        let r = worker(j);
-        heart.lock().expect("heartbeat poisoned").add(1);
-        r
-    });
-    heart.lock().expect("heartbeat poisoned").finish();
-    out
+    run_parallel_inner(Some(label), jobs, worker)
 }
 
-/// Runs a set of jobs across threads (the harness is embarrassingly
-/// parallel across workload × mechanism). Results return in job order.
+/// Runs a set of jobs on the work-stealing pool (the harness is
+/// embarrassingly parallel across workload × mechanism). Results return in
+/// job order regardless of worker count or completion order.
 pub fn run_parallel<J, R, F>(jobs: Vec<J>, worker: F) -> Vec<R>
 where
     J: Send + Sync,
     R: Send,
     F: Fn(&J) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(jobs.len().max(1));
-    if threads <= 1 {
-        return jobs.iter().map(&worker).collect();
-    }
+    run_parallel_inner(None, jobs, worker)
+}
+
+fn run_parallel_inner<J, R, F>(label: Option<&str>, jobs: Vec<J>, worker: F) -> Vec<R>
+where
+    J: Send + Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
     let n = jobs.len();
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut heart = label.map(|l| telemetry::Heartbeat::new(l, "jobs", n as u64));
+    let threads = sweep::default_jobs().min(n.max(1));
+    if threads <= 1 {
+        let out = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let r = worker(j);
+                if let Some(h) = heart.as_mut() {
+                    h.set_done(i as u64 + 1);
+                }
+                r
+            })
+            .collect();
+        if let Some(h) = heart.as_mut() {
+            h.finish();
+        }
+        return out;
+    }
     let slots: Vec<std::sync::Mutex<Option<R>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = worker(&jobs[i]);
-                *slots[i].lock().expect("slot poisoned") = Some(r);
-            });
-        }
-    });
+    let order: Vec<usize> = (0..n).collect();
+    let ticks = std::sync::atomic::AtomicU64::new(0);
+    sweep::pool::run_ordered(
+        threads,
+        &order,
+        &ticks,
+        |done| {
+            if let Some(h) = heart.as_mut() {
+                h.set_done(done);
+            }
+        },
+        |i| {
+            *slots[i].lock().expect("slot poisoned") = Some(worker(&jobs[i]));
+        },
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    if let Some(h) = heart.as_mut() {
+        h.finish();
+    }
     slots
         .into_iter()
         .map(|s| {
@@ -150,6 +176,15 @@ where
                 .expect("job produced no result")
         })
         .collect()
+}
+
+/// Runs a single-figure [`SweepPlan`] immediately on a default engine —
+/// the compatibility path for callers that want one figure without
+/// assembling the whole-figure-set job graph themselves.
+pub fn run_plan(plan: &SweepPlan, label: &str) -> SweepResults {
+    SweepEngine::new(sweep::default_jobs())
+        .run(plan, label)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -199,6 +199,33 @@ impl minijson::ToJson for HierarchyStats {
     }
 }
 
+impl minijson::FromJson for LevelStats {
+    fn from_json(v: &minijson::Json) -> Result<Self, String> {
+        Ok(Self {
+            lookups: v.u64_of("lookups")?,
+            hits: v.u64_of("hits")?,
+            fills: v.u64_of("fills")?,
+            evictions: v.u64_of("evictions")?,
+            writebacks_in: v.u64_of("writebacks_in")?,
+            invalidations: v.u64_of("invalidations")?,
+        })
+    }
+}
+
+impl minijson::FromJson for HierarchyStats {
+    fn from_json(v: &minijson::Json) -> Result<Self, String> {
+        Ok(Self {
+            levels: v
+                .arr_of("levels")?
+                .iter()
+                .map(minijson::FromJson::from_json)
+                .collect::<Result<_, _>>()?,
+            memory_writebacks: v.u64_of("memory_writebacks")?,
+            memory_fetches: v.u64_of("memory_fetches")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -161,6 +161,27 @@ impl ToJson for EnergyReport {
     }
 }
 
+impl minijson::FromJson for EnergyReport {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let f64_arr = |key: &str| -> Result<Vec<f64>, String> {
+            v.arr_of(key)?
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(|| format!("{key}: not an f64")))
+                .collect()
+        };
+        Ok(Self {
+            dynamic_by_level_j: f64_arr("dynamic_by_level_j")?,
+            predictor_dynamic_j: v.f64_of("predictor_dynamic_j")?,
+            recalibration_j: v.f64_of("recalibration_j")?,
+            prefetcher_j: v.f64_of("prefetcher_j")?,
+            leakage_by_level_j: f64_arr("leakage_by_level_j")?,
+            predictor_leakage_j: v.f64_of("predictor_leakage_j")?,
+            cycles: v.u64_of("cycles")?,
+            seconds: v.f64_of("seconds")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

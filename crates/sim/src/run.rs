@@ -6,7 +6,7 @@ use crate::system::System;
 use cache_sim::{HierarchyStats, Traversal};
 use energy_model::EnergyReport;
 use mem_trace::record::TraceRecord;
-use minijson::{json, Json, ToJson};
+use minijson::{json, FromJson, Json, ToJson};
 use telemetry::{NullObserver, SimObserver};
 
 /// A per-core stream of records.
@@ -69,6 +69,31 @@ impl ToJson for RunResult {
             "hierarchy": self.hierarchy.to_json(),
             "prediction": self.prediction.to_json(),
             "prefetch": self.prefetch.to_json(),
+        })
+    }
+}
+
+impl FromJson for RunResult {
+    /// Rehydrates a serialized result (the sweep crate's on-disk cache).
+    /// `cycles_per_ref` is derived and therefore ignored on load; every
+    /// stored field round-trips exactly (floats serialize via Rust's
+    /// shortest-roundtrip formatting), so a rehydrated result
+    /// re-serializes byte-identically.
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            cycles: v.u64_of("cycles")?,
+            refs_per_core: v
+                .arr_of("refs_per_core")?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .ok_or_else(|| "refs_per_core: not a u64".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            energy: EnergyReport::from_json(v.member("energy")?)?,
+            hierarchy: HierarchyStats::from_json(v.member("hierarchy")?)?,
+            prediction: PredictionStats::from_json(v.member("prediction")?)?,
+            prefetch: PrefetchSummary::from_json(v.member("prefetch")?)?,
         })
     }
 }
@@ -410,6 +435,17 @@ mod tests {
     fn cycles_per_ref_guards_empty_runs() {
         assert_eq!(synthetic_result(1000, vec![]).cycles_per_ref(), 0.0);
         assert_eq!(synthetic_result(1000, vec![0, 0]).cycles_per_ref(), 0.0);
+    }
+
+    #[test]
+    fn run_result_roundtrips_byte_identically_through_json() {
+        let cfg = tiny_cfg(Mechanism::Redhip);
+        let r = run_traces(&cfg, vec![stream(1), stream(2)]);
+        let text = r.to_json().pretty();
+        let back = RunResult::from_json(&minijson::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.to_json().pretty(), text);
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.total_refs(), r.total_refs());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Prediction and prefetch statistics.
 
-use minijson::{json, Json, ToJson};
+use minijson::{json, FromJson, Json, ToJson};
 
 /// Outcome counters for the presence predictor.
 #[derive(Debug, Clone, Copy, Default)]
@@ -95,9 +95,59 @@ impl ToJson for PrefetchSummary {
     }
 }
 
+impl FromJson for PredictionStats {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            lookups: v.u64_of("lookups")?,
+            bypasses: v.u64_of("bypasses")?,
+            walk_hits: v.u64_of("walk_hits")?,
+            false_positives: v.u64_of("false_positives")?,
+            updates: v.u64_of("updates")?,
+            recalibrations: v.u64_of("recalibrations")?,
+        })
+    }
+}
+
+impl FromJson for PrefetchSummary {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            issued: v.u64_of("issued")?,
+            fills: v.u64_of("fills")?,
+            already_resident: v.u64_of("already_resident")?,
+            predictor_filtered: v.u64_of("predictor_filtered")?,
+            useful: v.u64_of("useful")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_roundtrip_through_json() {
+        let s = PredictionStats {
+            lookups: 7,
+            bypasses: 3,
+            walk_hits: 2,
+            false_positives: 1,
+            updates: 11,
+            recalibrations: 4,
+        };
+        let back = PredictionStats::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.lookups, 7);
+        assert_eq!(back.recalibrations, 4);
+        let p = PrefetchSummary {
+            issued: 9,
+            fills: 5,
+            already_resident: 4,
+            predictor_filtered: 2,
+            useful: 3,
+        };
+        let back = PrefetchSummary::from_json(&p.to_json()).unwrap();
+        assert_eq!(back.issued, 9);
+        assert_eq!(back.useful, 3);
+    }
 
     #[test]
     fn coverage_and_accuracy() {

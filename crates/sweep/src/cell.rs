@@ -1,0 +1,141 @@
+//! One simulation cell of a sweep: (workload × mechanism × config).
+
+use sim::{run_traces, RunResult, SimConfig};
+use workloads::{Benchmark, Scale};
+
+/// Stable tag for a workload scale, part of the canonical cell key.
+pub fn scale_tag(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Demo => "demo",
+        Scale::Paper => "paper",
+    }
+}
+
+/// A fully-specified simulation: everything `run_workload` needs, owned,
+/// hashable, and executable on any worker thread.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Simulation configuration with `avg_cpi` already set for the
+    /// benchmark (so the canonical key covers it).
+    pub cfg: SimConfig,
+    /// Workload generating one trace per core.
+    pub benchmark: Benchmark,
+    /// Workload footprint scale.
+    pub scale: Scale,
+}
+
+impl CellSpec {
+    /// Builds the spec, stamping the benchmark's CPI into the config the
+    /// same way `bench::harness::run_workload` does.
+    pub fn new(cfg: &SimConfig, benchmark: Benchmark, scale: Scale) -> Self {
+        let mut cfg = cfg.clone();
+        cfg.avg_cpi = benchmark.avg_cpi();
+        Self {
+            cfg,
+            benchmark,
+            scale,
+        }
+    }
+
+    /// The canonical identity of this cell: workload, scale, and the full
+    /// config serialization. Two cells with equal keys produce
+    /// byte-identical results, so the key is what the dedup map and the
+    /// result cache are keyed by.
+    pub fn canonical_key(&self) -> String {
+        use minijson::ToJson;
+        format!(
+            "{}|{}|{}",
+            self.benchmark.name(),
+            scale_tag(self.scale),
+            self.cfg.to_json().dump()
+        )
+    }
+
+    /// 64-bit FNV-1a of the canonical key — the on-disk cache file name.
+    /// Collisions are harmless: the cache stores the full key and verifies
+    /// it on load.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(self.canonical_key().as_bytes())
+    }
+
+    /// Expected cost, for longest-cell-first scheduling: simulated
+    /// references per core times core count. Relative cost is what the
+    /// scheduler needs; refs dominate wall time across mechanisms.
+    pub fn cost(&self) -> u64 {
+        self.cfg.refs_per_core as u64 * self.cfg.platform.cores as u64
+    }
+
+    /// Runs the cell to completion on the calling thread. Deterministic:
+    /// trace generators are seeded from (core, scale) only.
+    pub fn simulate(&self) -> RunResult {
+        let traces = (0..self.cfg.platform.cores)
+            .map(|core| self.benchmark.trace(core, self.scale))
+            .collect();
+        run_traces(&self.cfg, traces)
+    }
+}
+
+/// FNV-1a, 64-bit.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Mechanism;
+
+    fn demo_cfg(mechanism: Mechanism) -> SimConfig {
+        let mut cfg = SimConfig::new(energy_model::presets::demo_scale(), mechanism);
+        cfg.refs_per_core = 1_000;
+        cfg
+    }
+
+    #[test]
+    fn identical_specs_share_key_and_hash() {
+        let a = CellSpec::new(&demo_cfg(Mechanism::Redhip), Benchmark::Mcf, Scale::Smoke);
+        let b = CellSpec::new(&demo_cfg(Mechanism::Redhip), Benchmark::Mcf, Scale::Smoke);
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn key_separates_mechanism_workload_and_scale() {
+        let base = CellSpec::new(&demo_cfg(Mechanism::Base), Benchmark::Mcf, Scale::Smoke);
+        let red = CellSpec::new(&demo_cfg(Mechanism::Redhip), Benchmark::Mcf, Scale::Smoke);
+        let lbm = CellSpec::new(&demo_cfg(Mechanism::Base), Benchmark::Lbm, Scale::Smoke);
+        let demo = CellSpec::new(&demo_cfg(Mechanism::Base), Benchmark::Mcf, Scale::Demo);
+        let keys = [
+            base.canonical_key(),
+            red.canonical_key(),
+            lbm.canonical_key(),
+            demo.canonical_key(),
+        ];
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_refs_and_cores() {
+        let mut cfg = demo_cfg(Mechanism::Base);
+        cfg.refs_per_core = 500;
+        let spec = CellSpec::new(&cfg, Benchmark::Mcf, Scale::Smoke);
+        assert_eq!(spec.cost(), 500 * cfg.platform.cores as u64);
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a test vector.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

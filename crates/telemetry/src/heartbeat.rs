@@ -64,6 +64,15 @@ impl Heartbeat {
         self.maybe_emit(false);
     }
 
+    /// Sets the absolute completed count and emits a line if the rate
+    /// limit allows. This is the contention-free shape for parallel work:
+    /// workers tick a shared `AtomicU64` and a single reporting thread
+    /// drains it here, so job completion never takes a lock.
+    pub fn set_done(&mut self, done: u64) {
+        self.done = done;
+        self.maybe_emit(false);
+    }
+
     /// Emits a final line unconditionally (marks the run complete).
     pub fn finish(&mut self) {
         self.maybe_emit(true);
@@ -188,6 +197,16 @@ mod tests {
         let line = h.line();
         assert!(line.starts_with("sim: 250 refs/1000 (25.0%)"), "{line}");
         assert!(line.contains("/s"), "{line}");
+    }
+
+    #[test]
+    fn set_done_is_absolute() {
+        let mut h = Heartbeat::new("sweep", "cells", 50).silent();
+        h.set_done(10);
+        h.set_done(30);
+        assert_eq!(h.done(), 30);
+        h.add(5);
+        assert_eq!(h.done(), 35);
     }
 
     #[test]
