@@ -107,6 +107,63 @@ pub fn measure(opts: &BenchOptions) -> Json {
     }
     let sweep_refs = total_refs * MECHANISMS.len() as u64;
 
+    // Trace-ingestion aggregate (PR 7+): record the measured workload's
+    // per-core streams round-robin into a v2 temp file, then time (a) a
+    // full chunk decode and (b) an end-to-end streaming replay under
+    // ReDHiP. Decode must run far ahead of replay for the streaming
+    // pipeline to be simulator-bound.
+    let trace = {
+        use mem_trace::{ShardSpec, StreamTrace};
+        use sim::{run_feeds, CoreFeed};
+        let path =
+            std::env::temp_dir().join(format!("redhip-bench-trace-{}.trace", std::process::id()));
+        {
+            let mut streams: Vec<_> = (0..cores)
+                .map(|c| opts.benchmark.trace(c, Scale::Smoke))
+                .collect();
+            let interleaved =
+                (0..total_refs).map(|i| streams[i as usize % cores].next().expect("infinite"));
+            mem_trace::stream::write_v2_file(&path, interleaved, 1 << 14).expect("write trace");
+        }
+        let stream = StreamTrace::open(&path).expect("open trace");
+        let info = stream.info();
+        let mut best_decode = f64::INFINITY;
+        for _ in 0..opts.samples.max(1) {
+            let start = Instant::now();
+            let mut acc = 0u64;
+            for r in stream.clone() {
+                acc ^= r.addr;
+            }
+            std::hint::black_box(acc);
+            best_decode = best_decode.min(start.elapsed().as_secs_f64());
+        }
+        let cfg = config(Mechanism::Redhip, opts.refs_per_core);
+        let mut best_replay = f64::INFINITY;
+        for _ in 0..opts.samples.max(1) {
+            let feeds: Vec<CoreFeed> = (0..cores)
+                .map(|i| {
+                    Box::new(stream.shard(ShardSpec::Interleave {
+                        shards: cores as u32,
+                        index: i as u32,
+                    })) as CoreFeed
+                })
+                .collect();
+            let start = Instant::now();
+            let r = run_feeds(&cfg, feeds);
+            let took = start.elapsed().as_secs_f64();
+            assert_eq!(r.total_refs(), total_refs, "replay was truncated");
+            best_replay = best_replay.min(took);
+        }
+        let _ = std::fs::remove_file(&path);
+        json!({
+            "records": info.total_records,
+            "file_bytes": info.file_bytes,
+            "decode_records_per_sec": info.total_records as f64 / best_decode,
+            "decode_gb_per_sec": info.file_bytes as f64 / 1e9 / best_decode,
+            "replay_refs_per_sec": total_refs as f64 / best_replay,
+        })
+    };
+
     json!({
         "schema": SCHEMA,
         "benchmark": opts.benchmark.to_string(),
@@ -123,12 +180,18 @@ pub fn measure(opts: &BenchOptions) -> Json {
             "ns_per_run": best_sweep * 1e9,
             "refs_per_sec": sweep_refs as f64 / best_sweep,
         }),
+        "trace": trace,
     })
 }
 
 /// Aggregate sweep throughput of a snapshot, if recorded (PR 6+).
 fn sweep_refs_per_sec(doc: &Json) -> Option<f64> {
     doc.get("sweep")?.f64_of("refs_per_sec").ok()
+}
+
+/// A metric from the trace-ingestion section, if recorded (PR 7+).
+fn trace_metric(doc: &Json, key: &str) -> Option<f64> {
+    doc.get("trace")?.f64_of(key).ok()
 }
 
 fn refs_per_sec(doc: &Json, mechanism: &str) -> Option<f64> {
@@ -157,6 +220,12 @@ pub fn render(doc: &Json) -> String {
             .and_then(Json::as_u64)
             .unwrap_or(0);
         let _ = writeln!(out, "{:<10} {rps:>14.0}  ({jobs} job(s))", "sweep");
+    }
+    if let Some(rps) = trace_metric(doc, "replay_refs_per_sec") {
+        let gbs = trace_metric(doc, "decode_gb_per_sec").unwrap_or(0.0);
+        let drps = trace_metric(doc, "decode_records_per_sec").unwrap_or(0.0);
+        let _ = writeln!(out, "{:<10} {drps:>14.0}  ({gbs:.2} GB/s)", "decode");
+        let _ = writeln!(out, "{:<10} {rps:>14.0}", "replay");
     }
     out
 }
@@ -196,6 +265,21 @@ pub fn compare(old: &Json, new: &Json) -> String {
             let _ = writeln!(out, "{:<10} {:>14} {b:>14.0}", "sweep", "-");
         }
         _ => {}
+    }
+    // Trace-ingestion rows likewise (absent from pre-PR7 snapshots).
+    for (label, key) in [
+        ("decode", "decode_records_per_sec"),
+        ("replay", "replay_refs_per_sec"),
+    ] {
+        match (trace_metric(old, key), trace_metric(new, key)) {
+            (Some(a), Some(b)) => {
+                let _ = writeln!(out, "{label:<10} {a:>14.0} {b:>14.0} {:>7.2}x", b / a);
+            }
+            (None, Some(b)) => {
+                let _ = writeln!(out, "{label:<10} {:>14} {b:>14.0}", "-");
+            }
+            _ => {}
+        }
     }
     if n > 0 {
         let _ = writeln!(out, "geomean speedup: {:.2}x", (log_sum / n as f64).exp());
@@ -246,6 +330,31 @@ mod tests {
             Some(5)
         );
         assert!(render(&doc).contains("sweep"));
+    }
+
+    #[test]
+    fn snapshot_records_trace_ingestion() {
+        let doc = tiny();
+        let decode = trace_metric(&doc, "decode_records_per_sec").expect("trace section");
+        let replay = trace_metric(&doc, "replay_refs_per_sec").expect("trace section");
+        assert!(decode > 0.0 && replay > 0.0);
+        // Decode must outrun replay for streaming to be simulator-bound.
+        assert!(decode > replay, "decode {decode} <= replay {replay}");
+        let table = render(&doc);
+        assert!(
+            table.contains("decode") && table.contains("replay"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn compare_tolerates_missing_trace_section() {
+        let new = tiny();
+        let mut old = new.clone();
+        old.set("trace", Json::Null);
+        let table = compare(&old, &new);
+        assert!(table.contains("geomean speedup: 1.00x"), "{table}");
+        assert!(table.contains("replay"), "{table}");
     }
 
     #[test]

@@ -33,6 +33,13 @@
 //!                        host cores)
 //!   --bench-compare A B  print the refs/s ratio table between two
 //!                        previously written snapshots and exit
+//!
+//! Trace toolchain (see `bench::tracecli` for flags):
+//!
+//!   redhip-sim trace record   record a benchmark's streams to a v2 file
+//!   redhip-sim trace convert  v1/v2/lackey-text -> chunked v2
+//!   redhip-sim trace info     print a trace file's layout and stats
+//!   redhip-sim trace replay   stream a trace file through the simulator
 //! ```
 
 use bench::harness::{mechanism_config, run_workload, run_workload_with, FigureScale};
@@ -48,6 +55,16 @@ fn usage(msg: &str) -> ! {
 }
 
 fn main() {
+    // `redhip-sim trace <record|convert|info|replay> ...` dispatches to the
+    // trace toolchain before the flag parser sees anything.
+    {
+        let mut args = std::env::args().skip(1);
+        if args.next().as_deref() == Some("trace") {
+            bench::tracecli::main(args.collect());
+            return;
+        }
+    }
+
     let mut benchmark = None;
     let mut mechanism = Mechanism::Redhip;
     let mut policy = InclusionPolicy::Inclusive;

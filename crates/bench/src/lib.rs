@@ -12,5 +12,6 @@ pub mod figures;
 pub mod harness;
 pub mod micro;
 pub mod table;
+pub mod tracecli;
 
 pub use harness::{mechanism_config, run_workload, FigureScale};

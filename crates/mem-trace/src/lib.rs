@@ -12,26 +12,40 @@
 //! * [`synth`] — composable synthetic access-pattern building blocks
 //!   (sequential, strided, random-in-region, pointer chase, Zipf) from which
 //!   `workloads` assembles benchmark-like streams.
-//! * [`codec`] — a compact binary on-disk format for recorded traces.
+//! * [`codec`] — the binary on-disk formats: monolithic fixed-width v1 and
+//!   chunked, delta-compressed, seekable v2 ([`codec::ChunkWriter`]).
+//! * [`stream`] — [`StreamTrace`]: replays a v2 file chunk-at-a-time from a
+//!   memory mapping or positioned reads, with bounded resident memory and
+//!   zero per-record allocation; [`shard`] splits one trace across cores.
+//! * [`import`] — converts externally captured Valgrind/lackey-style text
+//!   traces into the binary formats.
 //! * [`stats`] — streaming trace characterization (footprint, stride
 //!   predictability, operation mix, short-reuse proxy).
 //! * [`reuse`] — exact LRU reuse-distance analysis (Fenwick-tree
 //!   algorithm), the ground truth for locality validation.
 
+pub mod chunk;
 pub mod codec;
 pub mod ext;
+pub mod import;
 pub mod record;
 pub mod reuse;
 pub mod rng;
+pub mod shard;
 pub mod stats;
+pub mod stream;
 pub mod synth;
+pub mod varint;
 pub mod zipf;
 
+pub use codec::TraceIoError;
 pub use ext::TraceSourceExt;
 pub use record::{MemOp, TraceRecord};
 pub use reuse::ReuseHistogram;
 pub use rng::Rng64;
+pub use shard::ShardSpec;
 pub use stats::TraceStats;
+pub use stream::StreamTrace;
 
 /// A stream of memory-reference records.
 ///
@@ -41,6 +55,50 @@ pub use stats::TraceStats;
 pub trait TraceSource: Iterator<Item = TraceRecord> {}
 
 impl<T: Iterator<Item = TraceRecord>> TraceSource for T {}
+
+/// Bulk record delivery: the refill side of the simulator's chunked
+/// pull-ahead buffer.
+///
+/// `Iterator` hands over one record per (usually virtual) call;
+/// `TraceFeed` appends up to `max` records per call, which lets block
+/// producers — above all [`StreamTrace`], whose records already sit
+/// decoded in a scratch buffer — service a refill with one bounds check
+/// and a `memcpy` instead of `max` dynamic dispatches. Any iterator
+/// becomes a feed via [`IterFeed`].
+pub trait TraceFeed {
+    /// Appends up to `max` records to `out`, returning how many were
+    /// appended. Fewer than `max` (including 0) means the stream ended.
+    fn refill(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize;
+}
+
+impl<T: TraceFeed + ?Sized> TraceFeed for Box<T> {
+    #[inline]
+    fn refill(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize {
+        (**self).refill(out, max)
+    }
+}
+
+/// Adapts any [`TraceSource`] iterator into a [`TraceFeed`] by pulling
+/// records one at a time — the compatibility path for the synthetic
+/// generators.
+#[derive(Debug, Clone)]
+pub struct IterFeed<I>(pub I);
+
+impl<I: Iterator<Item = TraceRecord>> IterFeed<I> {
+    /// Wraps `source`.
+    pub fn new(source: I) -> Self {
+        Self(source)
+    }
+}
+
+impl<I: Iterator<Item = TraceRecord>> TraceFeed for IterFeed<I> {
+    #[inline]
+    fn refill(&mut self, out: &mut Vec<TraceRecord>, max: usize) -> usize {
+        let before = out.len();
+        out.extend(self.0.by_ref().take(max));
+        out.len() - before
+    }
+}
 
 /// An owned, in-memory trace. Useful for tests, for replaying a decoded trace
 /// file, and for duplicating one trace across several cores.
@@ -62,9 +120,18 @@ impl VecTrace {
 
     /// Collects (up to `limit`) records from any source.
     pub fn collect_from(source: impl TraceSource, limit: usize) -> Self {
-        Self {
-            records: source.take(limit).collect(),
-        }
+        // Most callers pass a bounded limit over an endless generator,
+        // whose size hint is (0, None) — collect() would then grow the
+        // vector through every doubling. Pre-reserve from the best
+        // available hint instead: the source's upper bound when it has
+        // one, else the limit itself (capped so an "everything" limit
+        // over an unknown-length source cannot demand an absurd upfront
+        // allocation).
+        let (lo, hi) = source.size_hint();
+        let cap = hi.unwrap_or(usize::MAX).min(limit).min((1 << 24).max(lo));
+        let mut records = Vec::with_capacity(cap);
+        records.extend(source.take(limit));
+        Self { records }
     }
 
     /// Number of records in the trace.

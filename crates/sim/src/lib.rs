@@ -32,7 +32,10 @@ pub mod system;
 
 pub use config::{AccountingOptions, CbfParams, Mechanism, SimConfig};
 pub use metrics::Comparison;
-pub use run::{run_duplicated, run_traces, run_traces_with, CoreTrace, RunResult};
+pub use run::{
+    run_duplicated, run_feeds, run_feeds_with, run_traces, run_traces_with, CoreFeed, CoreTrace,
+    RunResult,
+};
 pub use stats::{PredictionStats, PrefetchSummary};
 pub use system::System;
 pub use telemetry::{

@@ -6,11 +6,19 @@ use crate::system::System;
 use cache_sim::{HierarchyStats, Traversal};
 use energy_model::EnergyReport;
 use mem_trace::record::TraceRecord;
+use mem_trace::{IterFeed, TraceFeed};
 use minijson::{json, FromJson, Json, ToJson};
 use telemetry::{NullObserver, SimObserver};
 
 /// A per-core stream of records.
 pub type CoreTrace = Box<dyn Iterator<Item = TraceRecord> + Send>;
+
+/// A per-core bulk record producer — the refill side of the harness.
+///
+/// Synthetic generators arrive here wrapped in [`IterFeed`]; file-backed
+/// traces ([`mem_trace::StreamTrace`]) implement [`TraceFeed`] natively
+/// and service a refill with a `memcpy` out of their decoded chunk.
+pub type CoreFeed = Box<dyn TraceFeed + Send>;
 
 /// Everything measured in one simulation run.
 #[derive(Debug, Clone)]
@@ -138,24 +146,33 @@ pub fn run_traces(cfg: &SimConfig, traces: Vec<CoreTrace>) -> RunResult {
     run_traces_with(cfg, traces, NullObserver).0
 }
 
+/// Runs `cfg` over one [`TraceFeed`] per core. Identical semantics to
+/// [`run_traces`] — in fact `run_traces` is this function with every
+/// iterator wrapped in [`IterFeed`] — but a feed that produces records in
+/// bulk (a [`mem_trace::StreamTrace`] replaying a file) refills the
+/// harness buffer without a per-record virtual call.
+pub fn run_feeds(cfg: &SimConfig, feeds: Vec<CoreFeed>) -> RunResult {
+    run_feeds_with(cfg, feeds, NullObserver).0
+}
+
 /// Records pulled ahead per refill of a [`BufferedTrace`].
 const TRACE_CHUNK: usize = 128;
 
-/// Chunked pull-ahead over a boxed trace generator. Refilling an array of
-/// records at a time amortizes the dynamic dispatch of `Iterator::next`
-/// across [`TRACE_CHUNK`] references and lets the generator's state
-/// machine run hot, instead of paying an indirect call on every iteration
-/// of the scheduler's innermost loop. The record sequence is unchanged;
-/// records a core generated but never consumed (target reached mid-chunk)
-/// are simply dropped, as generators carry no cross-core state.
+/// Chunked pull-ahead over a boxed trace feed. Refilling an array of
+/// records at a time amortizes the dynamic dispatch of the feed across
+/// [`TRACE_CHUNK`] references and lets the producer's state machine run
+/// hot, instead of paying an indirect call on every iteration of the
+/// scheduler's innermost loop. The record sequence is unchanged; records
+/// a core produced but never consumed (target reached mid-chunk) are
+/// simply dropped, as producers carry no cross-core state.
 struct BufferedTrace {
-    src: CoreTrace,
+    src: CoreFeed,
     buf: Vec<TraceRecord>,
     pos: usize,
 }
 
 impl BufferedTrace {
-    fn new(src: CoreTrace) -> Self {
+    fn new(src: CoreFeed) -> Self {
         Self {
             src,
             buf: Vec::with_capacity(TRACE_CHUNK),
@@ -167,9 +184,8 @@ impl BufferedTrace {
     fn next(&mut self) -> Option<TraceRecord> {
         if self.pos == self.buf.len() {
             self.buf.clear();
-            self.buf.extend(self.src.by_ref().take(TRACE_CHUNK));
             self.pos = 0;
-            if self.buf.is_empty() {
+            if self.src.refill(&mut self.buf, TRACE_CHUNK) == 0 {
                 return None;
             }
         }
@@ -192,15 +208,33 @@ pub fn run_traces_with<O: SimObserver>(
     traces: Vec<CoreTrace>,
     obs: O,
 ) -> (RunResult, O) {
+    let feeds = traces
+        .into_iter()
+        .map(|t| Box::new(IterFeed::new(t)) as CoreFeed)
+        .collect();
+    run_feeds_with(cfg, feeds, obs)
+}
+
+/// Like [`run_feeds`], but reports telemetry to `obs` while running and
+/// returns it alongside the result.
+///
+/// # Panics
+/// Panics when the number of feeds differs from the platform's core count
+/// or the configuration is invalid.
+pub fn run_feeds_with<O: SimObserver>(
+    cfg: &SimConfig,
+    feeds: Vec<CoreFeed>,
+    obs: O,
+) -> (RunResult, O) {
     assert_eq!(
-        traces.len(),
+        feeds.len(),
         cfg.platform.cores,
         "need exactly one trace per core"
     );
     let mut system = System::with_observer(cfg.clone(), obs);
-    let cores = traces.len();
+    let cores = feeds.len();
 
-    let mut traces: Vec<BufferedTrace> = traces.into_iter().map(BufferedTrace::new).collect();
+    let mut traces: Vec<BufferedTrace> = feeds.into_iter().map(BufferedTrace::new).collect();
     let mut counts = vec![0u64; cores];
     let target = cfg.refs_per_core as u64;
     let mut scratch = Traversal::new();
@@ -435,6 +469,41 @@ mod tests {
     fn cycles_per_ref_guards_empty_runs() {
         assert_eq!(synthetic_result(1000, vec![]).cycles_per_ref(), 0.0);
         assert_eq!(synthetic_result(1000, vec![0, 0]).cycles_per_ref(), 0.0);
+    }
+
+    #[test]
+    fn stream_feeds_replay_identically_to_generators() {
+        // Record the two generator streams interleaved by index into one
+        // v2 buffer, then replay each core from its interleave shard.
+        // The scheduler, address mapping, and recalibration logic all see
+        // the exact same per-core sequences, so every statistic — energy
+        // floats included — must be byte-identical.
+        use mem_trace::codec::encode_v2_chunked;
+        use mem_trace::{ShardSpec, StreamTrace, VecTrace};
+        let cfg = tiny_cfg(Mechanism::Redhip);
+        let n = cfg.refs_per_core;
+        let per_core: Vec<Vec<TraceRecord>> = [1u64, 2]
+            .iter()
+            .map(|&s| stream(s).take(n).collect())
+            .collect();
+        let mut merged = VecTrace::new();
+        for i in 0..n {
+            for core in &per_core {
+                merged.push(core[i]);
+            }
+        }
+        let base = StreamTrace::from_bytes(encode_v2_chunked(&merged, 1 << 10)).unwrap();
+        let feeds: Vec<CoreFeed> = (0..2)
+            .map(|c| {
+                Box::new(base.shard(ShardSpec::Interleave {
+                    shards: 2,
+                    index: c,
+                })) as CoreFeed
+            })
+            .collect();
+        let from_file = run_feeds(&cfg, feeds);
+        let from_gen = run_traces(&cfg, vec![stream(1), stream(2)]);
+        assert_eq!(from_gen.to_json().pretty(), from_file.to_json().pretty());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! One simulation cell of a sweep: (workload × mechanism × config).
 
-use sim::{run_traces, RunResult, SimConfig};
-use workloads::{Benchmark, Scale};
+use sim::{run_feeds, run_traces, CoreFeed, RunResult, SimConfig};
+use std::sync::Arc;
+use workloads::{Benchmark, Scale, TraceFileWorkload};
 
 /// Stable tag for a workload scale, part of the canonical cell key.
 pub fn scale_tag(scale: Scale) -> &'static str {
@@ -12,44 +13,74 @@ pub fn scale_tag(scale: Scale) -> &'static str {
     }
 }
 
+/// Where a cell's per-core record streams come from.
+#[derive(Debug, Clone)]
+pub enum CellSource {
+    /// A registry benchmark's kernel generators, seeded by (core, scale).
+    Synth {
+        /// Workload generating one trace per core.
+        benchmark: Benchmark,
+        /// Workload footprint scale.
+        scale: Scale,
+    },
+    /// A recorded v2 trace file, replayed with bounded memory; the `Arc`
+    /// shares one mapping across every cell and worker thread using it.
+    File(Arc<TraceFileWorkload>),
+}
+
 /// A fully-specified simulation: everything `run_workload` needs, owned,
 /// hashable, and executable on any worker thread.
 #[derive(Debug, Clone)]
 pub struct CellSpec {
     /// Simulation configuration with `avg_cpi` already set for the
-    /// benchmark (so the canonical key covers it).
+    /// workload (so the canonical key covers it).
     pub cfg: SimConfig,
-    /// Workload generating one trace per core.
-    pub benchmark: Benchmark,
-    /// Workload footprint scale.
-    pub scale: Scale,
+    /// The workload driving each core.
+    pub source: CellSource,
 }
 
 impl CellSpec {
-    /// Builds the spec, stamping the benchmark's CPI into the config the
-    /// same way `bench::harness::run_workload` does.
+    /// Builds a synthetic-workload spec, stamping the benchmark's CPI into
+    /// the config the same way `bench::harness::run_workload` does.
     pub fn new(cfg: &SimConfig, benchmark: Benchmark, scale: Scale) -> Self {
         let mut cfg = cfg.clone();
         cfg.avg_cpi = benchmark.avg_cpi();
         Self {
             cfg,
-            benchmark,
-            scale,
+            source: CellSource::Synth { benchmark, scale },
+        }
+    }
+
+    /// Builds a file-backed spec, stamping the workload's CPI likewise.
+    pub fn file(cfg: &SimConfig, workload: Arc<TraceFileWorkload>) -> Self {
+        let mut cfg = cfg.clone();
+        cfg.avg_cpi = workload.avg_cpi();
+        Self {
+            cfg,
+            source: CellSource::File(workload),
         }
     }
 
     /// The canonical identity of this cell: workload, scale, and the full
     /// config serialization. Two cells with equal keys produce
     /// byte-identical results, so the key is what the dedup map and the
-    /// result cache are keyed by.
+    /// result cache are keyed by. Synthetic keys keep their historical
+    /// `name|scale|cfg` format (on-disk caches stay valid); file cells key
+    /// on the file's identity tag, which covers path, shard mode, and the
+    /// file's record/byte counts so a rewritten file misses the cache.
     pub fn canonical_key(&self) -> String {
         use minijson::ToJson;
-        format!(
-            "{}|{}|{}",
-            self.benchmark.name(),
-            scale_tag(self.scale),
-            self.cfg.to_json().dump()
-        )
+        match &self.source {
+            CellSource::Synth { benchmark, scale } => format!(
+                "{}|{}|{}",
+                benchmark.name(),
+                scale_tag(*scale),
+                self.cfg.to_json().dump()
+            ),
+            CellSource::File(w) => {
+                format!("{}|{}", w.identity_tag(), self.cfg.to_json().dump())
+            }
+        }
     }
 
     /// 64-bit FNV-1a of the canonical key — the on-disk cache file name.
@@ -67,12 +98,24 @@ impl CellSpec {
     }
 
     /// Runs the cell to completion on the calling thread. Deterministic:
-    /// trace generators are seeded from (core, scale) only.
+    /// synthetic generators are seeded from (core, scale) only, and files
+    /// replay fixed bytes.
     pub fn simulate(&self) -> RunResult {
-        let traces = (0..self.cfg.platform.cores)
-            .map(|core| self.benchmark.trace(core, self.scale))
-            .collect();
-        run_traces(&self.cfg, traces)
+        let cores = self.cfg.platform.cores;
+        match &self.source {
+            CellSource::Synth { benchmark, scale } => {
+                let traces = (0..cores)
+                    .map(|core| benchmark.trace(core, *scale))
+                    .collect();
+                run_traces(&self.cfg, traces)
+            }
+            CellSource::File(w) => {
+                let feeds = (0..cores)
+                    .map(|core| Box::new(w.feed(core, cores)) as CoreFeed)
+                    .collect();
+                run_feeds(&self.cfg, feeds)
+            }
+        }
     }
 }
 
@@ -130,6 +173,54 @@ mod tests {
         cfg.refs_per_core = 500;
         let spec = CellSpec::new(&cfg, Benchmark::Mcf, Scale::Smoke);
         assert_eq!(spec.cost(), 500 * cfg.platform.cores as u64);
+    }
+
+    #[test]
+    fn synth_key_format_is_pinned() {
+        // On-disk caches from earlier versions are keyed by this exact
+        // format; changing it silently invalidates them.
+        let spec = CellSpec::new(&demo_cfg(Mechanism::Base), Benchmark::Mcf, Scale::Smoke);
+        assert!(
+            spec.canonical_key().starts_with("mcf|smoke|{"),
+            "{}",
+            spec.canonical_key()
+        );
+    }
+
+    #[test]
+    fn file_cells_key_dedup_and_simulate_deterministically() {
+        use mem_trace::record::TraceRecord;
+        use mem_trace::VecTrace;
+        use minijson::ToJson;
+        let path =
+            std::env::temp_dir().join(format!("redhip-sweepcell-{}.trace", std::process::id()));
+        let t: VecTrace = (0..4000u64)
+            .map(|i| TraceRecord::load(0x400 + i % 9, (i * 2897) % (1 << 22)))
+            .collect();
+        mem_trace::stream::write_v2_file(&path, t.iter(), 256).unwrap();
+        let w = std::sync::Arc::new(
+            workloads::TraceFileWorkload::from_spec(&format!("file:{}:interleave", path.display()))
+                .unwrap(),
+        );
+        let cfg = demo_cfg(Mechanism::Redhip);
+        let a = CellSpec::file(&cfg, Arc::clone(&w));
+        let b = CellSpec::file(&cfg, Arc::clone(&w));
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert!(a.canonical_key().contains("interleave"));
+        assert_eq!(a.cfg.avg_cpi, w.avg_cpi());
+
+        let mut plan = crate::SweepPlan::new();
+        let id1 = plan.cell_file(&cfg, &w);
+        let id2 = plan.cell_file(&cfg, &w);
+        assert_eq!(id1, id2);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.dedup_hits(), 1);
+
+        let r1 = a.simulate();
+        let r2 = b.simulate();
+        assert_eq!(r1.to_json().pretty(), r2.to_json().pretty());
+        assert!(r1.total_refs() > 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -34,8 +34,22 @@ impl SweepPlan {
     /// A repeated request for an identical cell returns the existing id
     /// and counts as a dedup hit.
     pub fn cell(&mut self, cfg: &SimConfig, benchmark: Benchmark, scale: Scale) -> CellId {
+        self.insert(CellSpec::new(cfg, benchmark, scale))
+    }
+
+    /// Requests one (config × trace file) cell — the file-backed analogue
+    /// of [`cell`](Self::cell). The `Arc` shares one open mapping across
+    /// every cell replaying the same file.
+    pub fn cell_file(
+        &mut self,
+        cfg: &SimConfig,
+        workload: &std::sync::Arc<workloads::TraceFileWorkload>,
+    ) -> CellId {
+        self.insert(CellSpec::file(cfg, std::sync::Arc::clone(workload)))
+    }
+
+    fn insert(&mut self, spec: CellSpec) -> CellId {
         self.logical_requests += 1;
-        let spec = CellSpec::new(cfg, benchmark, scale);
         let key = spec.canonical_key();
         if let Some(&id) = self.by_key.get(&key) {
             self.dedup_hits += 1;

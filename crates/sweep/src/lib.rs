@@ -25,7 +25,7 @@ pub mod engine;
 pub mod pool;
 
 pub use cache::{ResultCache, CACHE_SCHEMA, CACHE_VERSION};
-pub use cell::CellSpec;
+pub use cell::{CellSource, CellSpec};
 pub use engine::{
     default_jobs, CellId, SweepEngine, SweepError, SweepPlan, SweepResults, SweepStats,
 };

@@ -27,11 +27,18 @@
 //! fraction (≈ L1 hit-rate proxy) in a realistic band, and
 //! stride-predictability matching the benchmark's character.
 
+//!
+//! Besides the synthetic generators, [`file::TraceFileWorkload`] registers
+//! recorded v2 trace files as workloads (`file:PATH[:dup|:interleave|:range]`
+//! specs), replayed chunk-at-a-time with bounded memory.
+
+pub mod file;
 pub mod graph500;
 pub mod pmf;
 pub mod registry;
 pub mod scale;
 pub mod spec;
 
-pub use registry::{Benchmark, DynTrace};
+pub use file::{FileMode, TraceFileWorkload};
+pub use registry::{Benchmark, DynTrace, WorkloadSource};
 pub use scale::Scale;

@@ -39,17 +39,19 @@ pub use workloads;
 pub mod prelude {
     pub use cache_sim::{DeepHierarchy, HierarchyConfig, InclusionPolicy, ReplacementPolicy};
     pub use energy_model::presets::{demo_scale, table_i};
-    pub use mem_trace::{MemOp, TraceRecord, TraceSource, TraceSourceExt};
+    pub use mem_trace::{
+        MemOp, ShardSpec, StreamTrace, TraceFeed, TraceRecord, TraceSource, TraceSourceExt,
+    };
     pub use prefetch::{StrideConfig, StridePrefetcher};
     pub use redhip::{
         CountingBloomFilter, Prediction, PredictionTable, PresencePredictor, RecalibrationEngine,
     };
     pub use sim::{
-        run_duplicated, run_traces, run_traces_with, Comparison, CoreTrace, Heartbeat,
-        HeartbeatObserver, Mechanism, NullObserver, RecalibMarker, RunResult, SimConfig,
+        run_duplicated, run_feeds, run_traces, run_traces_with, Comparison, CoreFeed, CoreTrace,
+        Heartbeat, HeartbeatObserver, Mechanism, NullObserver, RecalibMarker, RunResult, SimConfig,
         SimObserver, Tee, TelemetryRecord, WindowSample, WindowedCollector,
     };
-    pub use workloads::{Benchmark, Scale};
+    pub use workloads::{Benchmark, FileMode, Scale, TraceFileWorkload, WorkloadSource};
 }
 
 #[cfg(test)]
