@@ -164,6 +164,43 @@ pub fn measure(opts: &BenchOptions) -> Json {
         })
     };
 
+    // Intra-run parallel aggregate (PR 8+): one ReDHiP cell through the
+    // production entry point at several --intra-jobs settings. Results
+    // are byte-identical at every setting (the bound-weave engine's
+    // contract); only throughput varies, and only with host cores —
+    // `host_cores` is recorded so a flat curve on a small machine reads
+    // as what it is.
+    let parallel = {
+        let cfg = config(Mechanism::Redhip, opts.refs_per_core);
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut points = Vec::new();
+        for intra in [1usize, 2, 4, 8] {
+            let io = sim::IntraOptions::with_jobs(intra);
+            let mut best = f64::INFINITY;
+            for _ in 0..opts.samples.max(1) {
+                let traces: Vec<CoreTrace> = (0..cores)
+                    .map(|c| opts.benchmark.trace(c, Scale::Smoke))
+                    .collect();
+                let start = Instant::now();
+                let r = sim::run_traces_par(&cfg, traces, &io);
+                let took = start.elapsed().as_secs_f64();
+                assert_eq!(r.total_refs(), total_refs, "parallel run was truncated");
+                best = best.min(took);
+            }
+            points.push(json!({
+                "intra_jobs": intra as u64,
+                "refs_per_sec": total_refs as f64 / best,
+            }));
+        }
+        json!({
+            "mechanism": "Redhip",
+            "host_cores": host_cores as u64,
+            "points": Json::Arr(points),
+        })
+    };
+
     json!({
         "schema": SCHEMA,
         "benchmark": opts.benchmark.to_string(),
@@ -181,7 +218,24 @@ pub fn measure(opts: &BenchOptions) -> Json {
             "refs_per_sec": sweep_refs as f64 / best_sweep,
         }),
         "trace": trace,
+        "parallel": parallel,
     })
+}
+
+/// The intra-run scaling points of a snapshot, if recorded (PR 8+):
+/// `(intra_jobs, refs_per_sec)` pairs in recorded order.
+fn parallel_points(doc: &Json) -> Option<Vec<(u64, f64)>> {
+    let pts = doc.get("parallel")?.get("points")?.as_array()?;
+    Some(
+        pts.iter()
+            .filter_map(|p| {
+                Some((
+                    p.get("intra_jobs")?.as_u64()?,
+                    p.f64_of("refs_per_sec").ok()?,
+                ))
+            })
+            .collect(),
+    )
 }
 
 /// Aggregate sweep throughput of a snapshot, if recorded (PR 6+).
@@ -226,6 +280,17 @@ pub fn render(doc: &Json) -> String {
         let drps = trace_metric(doc, "decode_records_per_sec").unwrap_or(0.0);
         let _ = writeln!(out, "{:<10} {drps:>14.0}  ({gbs:.2} GB/s)", "decode");
         let _ = writeln!(out, "{:<10} {rps:>14.0}", "replay");
+    }
+    if let Some(points) = parallel_points(doc) {
+        let host = doc
+            .get("parallel")
+            .and_then(|p| p.get("host_cores"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        for (intra, rps) in points {
+            let label = format!("par@{intra}");
+            let _ = writeln!(out, "{label:<10} {rps:>14.0}  ({host} host core(s))");
+        }
     }
     out
 }
@@ -279,6 +344,20 @@ pub fn compare(old: &Json, new: &Json) -> String {
                 let _ = writeln!(out, "{label:<10} {:>14} {b:>14.0}", "-");
             }
             _ => {}
+        }
+    }
+    // Intra-run scaling rows likewise (absent from pre-PR8 snapshots).
+    let new_pts = parallel_points(new).unwrap_or_default();
+    let old_pts = parallel_points(old).unwrap_or_default();
+    for (intra, b) in new_pts {
+        let label = format!("par@{intra}");
+        match old_pts.iter().find(|(i, _)| *i == intra) {
+            Some((_, a)) => {
+                let _ = writeln!(out, "{label:<10} {a:>14.0} {b:>14.0} {:>7.2}x", b / a);
+            }
+            None => {
+                let _ = writeln!(out, "{label:<10} {:>14} {b:>14.0}", "-");
+            }
         }
     }
     if n > 0 {
@@ -345,6 +424,30 @@ mod tests {
             table.contains("decode") && table.contains("replay"),
             "{table}"
         );
+    }
+
+    #[test]
+    fn snapshot_records_parallel_scaling() {
+        let doc = tiny();
+        let points = parallel_points(&doc).expect("parallel section present");
+        assert_eq!(
+            points.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8]
+        );
+        assert!(points.iter().all(|&(_, rps)| rps > 0.0));
+        let table = render(&doc);
+        assert!(table.contains("par@8"), "{table}");
+    }
+
+    #[test]
+    fn compare_tolerates_missing_parallel_section() {
+        let new = tiny();
+        // A pre-PR8 snapshot: same document minus the parallel section.
+        let mut old = new.clone();
+        old.set("parallel", Json::Null);
+        let table = compare(&old, &new);
+        assert!(table.contains("geomean speedup: 1.00x"), "{table}");
+        assert!(table.contains("par@8"), "{table}");
     }
 
     #[test]

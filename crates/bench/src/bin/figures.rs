@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures [TARGETS...] [--scale smoke|demo|paper] [--refs N] [--out DIR]
-//!         [--jobs N] [--cache] [--cache-dir DIR]
+//!         [--jobs N] [--intra-jobs N] [--cache] [--cache-dir DIR]
 //!
 //! TARGETS: all (default) | table1 | fig1 | fig6..fig15 | core (fig6-10)
 //!          | sweeps (fig11-13) | prefetch (fig14-15) | ablations
@@ -15,8 +15,12 @@
 //! output is byte-identical regardless. `--cache` memoizes results on disk
 //! under `DIR/cache/` so re-runs skip finished cells.
 //!
-//! Text renders to stdout; structured results land in `DIR/<name>.json`
-//! (default `results/`).
+//! Text renders to stdout and is mirrored to `DIR/figures.log`;
+//! structured results land in `DIR/<name>.json` (default `results/`) —
+//! no shell redirection into the repo root needed. `--intra-jobs N`
+//! additionally parallelizes *inside* each cell (the deterministic
+//! bound–weave engine; output is byte-identical), trading sweep-level for
+//! intra-run workers under one `jobs x intra_jobs <= cores` budget.
 
 use bench::figures::{self, FigureOutput, Settings};
 use bench::harness::FigureScale;
@@ -29,7 +33,8 @@ use sweep::{default_jobs, ResultCache, SweepEngine, SweepPlan};
 fn usage() -> ! {
     eprintln!(
         "usage: figures [all|core|sweeps|prefetch|ablations|table1|fig1|fig6..fig15]... \
-         [--scale smoke|demo|paper] [--refs N] [--out DIR] [--jobs N] [--cache] [--cache-dir DIR]"
+         [--scale smoke|demo|paper] [--refs N] [--out DIR] [--jobs N] [--intra-jobs N] \
+         [--cache] [--cache-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -40,7 +45,16 @@ struct Args {
     refs: Option<usize>,
     out: PathBuf,
     jobs: Option<usize>,
+    intra_jobs: usize,
     cache_dir: Option<PathBuf>,
+}
+
+impl Args {
+    /// The run's text log: every rendered table, mirrored under the
+    /// results directory (not the repo root).
+    fn log_path(&self) -> PathBuf {
+        self.out.join("figures.log")
+    }
 }
 
 fn parse_args() -> Args {
@@ -49,6 +63,7 @@ fn parse_args() -> Args {
     let mut refs = None;
     let mut out = PathBuf::from("results");
     let mut jobs = None;
+    let mut intra_jobs = 1usize;
     let mut cache = false;
     let mut cache_dir = None;
     let mut it = std::env::args().skip(1);
@@ -72,6 +87,13 @@ fn parse_args() -> Args {
                     usage();
                 }
                 jobs = Some(n);
+            }
+            "--intra-jobs" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                intra_jobs = v.parse().unwrap_or_else(|_| usage());
+                if intra_jobs == 0 {
+                    usage();
+                }
             }
             "--cache" => cache = true,
             "--cache-dir" => {
@@ -105,6 +127,7 @@ fn parse_args() -> Args {
         refs,
         out,
         jobs,
+        intra_jobs,
         cache_dir,
     }
 }
@@ -116,6 +139,12 @@ fn wants(args: &Args, name: &str, group: &str) -> bool {
 fn emit(args: &Args, f: &FigureOutput) {
     println!("{}", f.text);
     std::fs::create_dir_all(&args.out).expect("create results dir");
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(args.log_path())
+        .expect("open figures.log");
+    writeln!(log, "{}", f.text).expect("append figures.log");
     let path = args.out.join(format!("{}.json", f.name));
     let mut file = std::fs::File::create(&path).expect("create json");
     file.write_all(f.json.pretty().as_bytes())
@@ -127,12 +156,16 @@ fn main() {
     let args = parse_args();
     let settings = Settings::new(args.scale, args.refs);
     let jobs = args.jobs.unwrap_or_else(default_jobs);
+    // Fresh log per run; `emit` appends each figure as it lands.
+    std::fs::create_dir_all(&args.out).expect("create results dir");
+    std::fs::write(args.log_path(), "").expect("truncate figures.log");
     eprintln!(
-        "[figures] scale={:?} refs/core={} workloads={} jobs={} targets={:?}",
+        "[figures] scale={:?} refs/core={} workloads={} jobs={} intra_jobs={} targets={:?}",
         args.scale,
         settings.refs,
         settings.workloads.len(),
         jobs,
+        args.intra_jobs,
         args.targets
     );
     let t0 = std::time::Instant::now();
@@ -178,7 +211,7 @@ fn main() {
     let ablation_plan = want_ablations.then(|| ablate::plan_all(&ablation_settings, &mut plan));
 
     // Phase 2: one engine, one run over the whole deduplicated job graph.
-    let mut engine = SweepEngine::new(jobs);
+    let mut engine = SweepEngine::new(jobs).with_intra_jobs(args.intra_jobs);
     if let Some(dir) = &args.cache_dir {
         eprintln!("[figures] result cache: {}", dir.display());
         engine = engine.with_cache(ResultCache::with_disk(dir.clone()));

@@ -12,6 +12,9 @@
 //!   --pt-bytes N         prediction-table size override
 //!   --recalib N          recalibration period in L1 misses (0 = never)
 //!   --prefetch           enable the stride prefetcher
+//!   --intra-jobs N       worker threads *inside* the run (deterministic
+//!                        bound-weave engine; results are byte-identical
+//!                        at every N; default 1 = sequential scheduler)
 //!   --compare            also run Base and print the comparison
 //!   --json FILE          write the RunResult as JSON
 //!   --telemetry FILE     write windowed time-series telemetry as JSONL
@@ -42,7 +45,9 @@
 //!   redhip-sim trace replay   stream a trace file through the simulator
 //! ```
 
-use bench::harness::{mechanism_config, run_workload, run_workload_with, FigureScale};
+use bench::harness::{
+    mechanism_config, run_workload, run_workload_par, run_workload_with, FigureScale,
+};
 use cache_sim::InclusionPolicy;
 use minijson::ToJson;
 use sim::{Comparison, Heartbeat, HeartbeatObserver, Mechanism, RunResult, Tee, WindowedCollector};
@@ -73,6 +78,7 @@ fn main() {
     let mut pt_bytes = None;
     let mut recalib: Option<Option<u64>> = None;
     let mut prefetch = false;
+    let mut intra_jobs = 1usize;
     let mut compare = false;
     let mut json_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
@@ -140,6 +146,14 @@ fn main() {
                 recalib = Some(if v == 0 { None } else { Some(v) });
             }
             "--prefetch" => prefetch = true,
+            "--intra-jobs" => {
+                intra_jobs = next("--intra-jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --intra-jobs"));
+                if intra_jobs == 0 {
+                    usage("--intra-jobs must be positive");
+                }
+            }
             "--compare" => compare = true,
             "--json" => json_path = Some(next("--json")),
             "--telemetry" => telemetry_path = Some(next("--telemetry")),
@@ -247,7 +261,40 @@ fn main() {
     };
 
     // Telemetry wants a collector; the heartbeat rides along either way.
-    let result: RunResult = if let Some(path) = &telemetry_path {
+    let result: RunResult = if intra_jobs > 1 {
+        if telemetry_path.is_some() {
+            usage("--telemetry needs the sequential scheduler (--intra-jobs 1): the parallel engine has no observer hooks");
+        }
+        // The envelope must be judged on the config the run actually uses:
+        // run_workload_par stamps the benchmark's CPI before simulating.
+        let stamped = {
+            let mut c = cfg.clone();
+            c.avg_cpi = benchmark.avg_cpi();
+            c
+        };
+        if !sim::parallel_supported(&stamped) {
+            eprintln!(
+                "[redhip-sim] note: configuration outside the parallel envelope; running sequentially"
+            );
+        }
+        let hb = std::cell::RefCell::new({
+            let h = Heartbeat::new("[redhip-sim]", "refs", total_refs);
+            if quiet {
+                h.silent()
+            } else {
+                h
+            }
+        });
+        let progress = |done: u64| hb.borrow_mut().set_done(done);
+        let opts = sim::IntraOptions {
+            jobs: intra_jobs,
+            progress: Some(&progress),
+            ..Default::default()
+        };
+        let r = run_workload_par(&cfg, benchmark, scale, &opts);
+        hb.borrow_mut().finish();
+        r
+    } else if let Some(path) = &telemetry_path {
         let collector = WindowedCollector::new(window, cfg.platform.levels.len());
         let obs = Tee::new(collector, heartbeat());
         let (result, obs) = run_workload_with(&cfg, benchmark, scale, obs);

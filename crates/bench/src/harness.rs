@@ -80,6 +80,25 @@ pub fn run_workload(cfg: &SimConfig, benchmark: Benchmark, scale: FigureScale) -
     run_traces(&cfg, traces)
 }
 
+/// Like [`run_workload`], but runs the deterministic bound–weave engine
+/// with `opts.jobs` intra-run worker threads (see [`sim::parallel`]).
+/// Byte-identical to [`run_workload`] at every thread count; falls back
+/// to the sequential scheduler outside the engine's envelope.
+pub fn run_workload_par(
+    cfg: &SimConfig,
+    benchmark: Benchmark,
+    scale: FigureScale,
+    opts: &sim::IntraOptions,
+) -> RunResult {
+    let mut cfg = cfg.clone();
+    cfg.avg_cpi = benchmark.avg_cpi();
+    let ws = scale.workload_scale();
+    let traces = (0..cfg.platform.cores)
+        .map(|core| benchmark.trace(core, ws))
+        .collect();
+    sim::run_traces_par(&cfg, traces, opts)
+}
+
 /// Like [`run_workload`], but reports telemetry to `obs` while running.
 pub fn run_workload_with<O: SimObserver>(
     cfg: &SimConfig,

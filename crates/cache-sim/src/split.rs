@@ -1,0 +1,283 @@
+//! Splittable hierarchy state for two-phase parallel simulation.
+//!
+//! The deterministic bound–weave scheduler in the `sim` crate advances each
+//! core's *private* levels independently on worker threads (the bound
+//! phase) and commits shared-LLC state in sequential order afterwards (the
+//! weave phase). [`DeepHierarchy`](crate::hierarchy::DeepHierarchy) owns
+//! both halves in one structure, so this module factors the inclusive-fill
+//! mechanics out as free functions over the two pieces a split simulation
+//! actually holds:
+//!
+//! * a per-core *column* of private caches (`&mut [Cache]`, level 0 = L1),
+//!   with [`fill_private_column`] / [`promote_column`] reproducing
+//!   `fill_private_inclusive` / `promote` exactly — victim cascades, upper
+//!   purges, and dirty folding included — except that a dirty victim of the
+//!   *last* private level is returned to the caller instead of being marked
+//!   in the shared LLC (the caller commits it in global order);
+//! * the shared LLC bank, with [`fill_shared_commit`] performing the
+//!   install + eviction half of `fill_llc_inclusive` and returning the
+//!   victim so the caller can back-invalidate (or prove it need not).
+//!
+//! Statistics deltas accumulate into an ordinary [`HierarchyStats`]; the
+//! counters are plain sums, so per-thread deltas merged with
+//! [`HierarchyStats::merge`] reproduce the sequential totals exactly.
+
+use crate::cache::{Cache, Evicted};
+use crate::traversal::{HierarchyStats, LevelId};
+
+/// Installs `block` into private level `lvl` of one core's column under the
+/// inclusive policy, cascading exactly like
+/// `DeepHierarchy::fill_private_inclusive`: the victim's upper copies are
+/// purged and dirty data folds down one level. Every replacement victim is
+/// appended to `victims` (a bound phase collects them so the weave phase
+/// can prove a shared-LLC eviction touches no private copy). Returns the
+/// victim block that must be marked dirty in the shared LLC when `lvl` is
+/// the last private level and the victim (or a purged upper copy) was
+/// dirty — the one private→shared effect a bound phase cannot apply
+/// locally.
+pub fn fill_private_column(
+    column: &mut [Cache],
+    lvl: LevelId,
+    block: u64,
+    dirty: bool,
+    stats: &mut HierarchyStats,
+    victims: &mut Vec<u64>,
+) -> Option<u64> {
+    let evicted = column[lvl as usize].fill(block, dirty);
+    stats.levels[lvl as usize].fills += 1;
+    let v = evicted?;
+    victims.push(v.block);
+    stats.count_eviction(lvl);
+    let mut wb_dirty = v.dirty;
+    for up in 0..lvl {
+        if let Some(e) = column[up as usize].invalidate(v.block) {
+            stats.count_invalidation(up);
+            wb_dirty |= e.dirty;
+        }
+    }
+    if !wb_dirty {
+        return None;
+    }
+    let below = lvl as usize + 1;
+    if below < column.len() {
+        stats.levels[below].writebacks_in += 1;
+        let ok = column[below].mark_dirty(v.block);
+        debug_assert!(
+            ok,
+            "inclusion violated: victim {0:#x} absent below",
+            v.block
+        );
+        None
+    } else {
+        // Last private level: the writeback lands in the shared LLC. The
+        // caller logs it and commits (stats + `mark_dirty`) in order.
+        Some(v.block)
+    }
+}
+
+/// Promotes a private hit at `hit_level` up to L1, mirroring
+/// `DeepHierarchy::promote` for the inclusive policy. Never produces a
+/// shared-LLC writeback: promotion fills levels strictly above the hit,
+/// so every victim folds into a private level at or above `hit_level`.
+pub fn promote_column(
+    column: &mut [Cache],
+    hit_level: LevelId,
+    block: u64,
+    is_store: bool,
+    stats: &mut HierarchyStats,
+    victims: &mut Vec<u64>,
+) {
+    for lvl in (0..hit_level).rev() {
+        let dirty = lvl == 0 && is_store;
+        let wb = fill_private_column(column, lvl, block, dirty, stats, victims);
+        debug_assert!(wb.is_none(), "promotion reached the shared level");
+    }
+}
+
+/// Installs `block` into the shared inclusive LLC (the commit half of
+/// `DeepHierarchy::fill_llc_inclusive`), counting the fill and any
+/// eviction against `llc_level`. The victim — whose private copies the
+/// caller must purge, or prove absent — is returned untouched.
+pub fn fill_shared_commit(
+    shared: &mut Cache,
+    llc_level: LevelId,
+    block: u64,
+    stats: &mut HierarchyStats,
+) -> Option<Evicted> {
+    let evicted = shared.fill(block, false);
+    stats.levels[llc_level as usize].fills += 1;
+    if evicted.is_some() {
+        stats.count_eviction(llc_level);
+    }
+    evicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::hierarchy::{DeepHierarchy, HierarchyConfig, InclusionPolicy};
+    use crate::traversal::Traversal;
+
+    fn tiny() -> HierarchyConfig {
+        HierarchyConfig {
+            cores: 1,
+            private_levels: vec![
+                CacheConfig::lru(128, 2, 64),
+                CacheConfig::lru(256, 2, 64),
+                CacheConfig::lru(512, 2, 64),
+            ],
+            shared_llc: CacheConfig::lru(2048, 4, 64),
+            policy: InclusionPolicy::Inclusive,
+        }
+    }
+
+    fn column_from(cfg: &HierarchyConfig) -> Vec<Cache> {
+        cfg.private_levels.iter().map(|c| Cache::new(*c)).collect()
+    }
+
+    /// The split fill path must evolve cache contents and statistics
+    /// identically to `DeepHierarchy` driven the way the simulator drives
+    /// it (LLC first, then the private column top-down).
+    #[test]
+    fn split_fill_matches_hierarchy_fill_from_memory() {
+        let cfg = tiny();
+        let mut h = DeepHierarchy::new(&cfg);
+        let mut t = Traversal::new();
+        let mut column = column_from(&cfg);
+        let mut shared = Cache::new(cfg.shared_llc);
+        let mut stats = HierarchyStats::new(cfg.levels());
+        let mut victims = Vec::new();
+        let llc = (cfg.levels() - 1) as LevelId;
+
+        let mut x = 0x9e37_79b9u64;
+        for i in 0..4000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let block = x % 300;
+            let store = i % 4 == 0;
+
+            // Reference hierarchy.
+            t.clear();
+            if !h.access_first(0, block, store, &mut t) {
+                let mut hit = false;
+                for lvl in 1..h.levels() {
+                    if h.lookup(0, lvl, block, &mut t) {
+                        h.promote(0, lvl, block, store, &mut t);
+                        hit = true;
+                        break;
+                    }
+                }
+                if !hit {
+                    h.fill_from_memory(0, block, store, &mut t);
+                }
+            }
+            h.absorb_stats(&t);
+
+            // Split replica.
+            let l1_hit = column[0].access(block, store);
+            stats.levels[0].lookups += 1;
+            if l1_hit {
+                stats.levels[0].hits += 1;
+            } else {
+                let mut hit_at = None;
+                for lvl in 1..llc {
+                    let hit = column[lvl as usize].access(block, false);
+                    stats.levels[lvl as usize].lookups += 1;
+                    if hit {
+                        stats.levels[lvl as usize].hits += 1;
+                        hit_at = Some(lvl);
+                        break;
+                    }
+                }
+                match hit_at {
+                    Some(lvl) => {
+                        promote_column(&mut column, lvl, block, store, &mut stats, &mut victims)
+                    }
+                    None => {
+                        let llc_hit = shared.access(block, false);
+                        stats.levels[llc as usize].lookups += 1;
+                        if llc_hit {
+                            stats.levels[llc as usize].hits += 1;
+                        } else {
+                            let ev = fill_shared_commit(&mut shared, llc, block, &mut stats);
+                            if let Some(v) = ev {
+                                let mut dirty = v.dirty;
+                                for lvl in 0..llc {
+                                    if let Some(up) = column[lvl as usize].invalidate(v.block) {
+                                        stats.count_invalidation(lvl);
+                                        dirty |= up.dirty;
+                                    }
+                                }
+                                if dirty {
+                                    stats.memory_writebacks += 1;
+                                }
+                            }
+                            stats.memory_fetches += 1;
+                        }
+                        for lvl in (0..llc).rev() {
+                            let dirty = lvl == 0 && store;
+                            if let Some(wb) = fill_private_column(
+                                &mut column,
+                                lvl,
+                                block,
+                                dirty,
+                                &mut stats,
+                                &mut victims,
+                            ) {
+                                stats.levels[llc as usize].writebacks_in += 1;
+                                let ok = shared.mark_dirty(wb);
+                                assert!(ok, "LLC lost a covered victim");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let href = h.stats();
+        for lvl in 0..cfg.levels() {
+            assert_eq!(href.levels[lvl], stats.levels[lvl], "level {lvl}");
+        }
+        assert_eq!(href.memory_writebacks, stats.memory_writebacks);
+        assert_eq!(href.memory_fetches, stats.memory_fetches);
+        for lvl in 0..3u8 {
+            let mut a: Vec<u64> = h.private_cache(0, lvl).resident_blocks().collect();
+            let mut b: Vec<u64> = column[lvl as usize].resident_blocks().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "private level {lvl} contents diverged");
+        }
+        let mut a: Vec<u64> = h.llc().resident_blocks().collect();
+        let mut b: Vec<u64> = shared.resident_blocks().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "LLC contents diverged");
+    }
+
+    #[test]
+    fn last_level_dirty_victim_is_returned_not_applied() {
+        let cfg = tiny();
+        let mut column = column_from(&cfg);
+        let mut stats = HierarchyStats::new(cfg.levels());
+        let mut victims = Vec::new();
+        // L3 (level 2) has 4 sets x 2 ways; blocks 0 and 8 share set 0 with
+        // block 16. Make block 0 dirty in L1 so its L3 eviction folds dirty.
+        for b in [0u64, 8, 16] {
+            for lvl in (0..3u8).rev() {
+                let dirty = lvl == 0 && b == 0;
+                let wb = fill_private_column(&mut column, lvl, b, dirty, &mut stats, &mut victims);
+                if b == 16 && lvl == 2 {
+                    assert_eq!(wb, Some(0), "dirty L3 victim must surface");
+                } else {
+                    assert_eq!(wb, None);
+                }
+            }
+        }
+        // The one replacement victim was reported: L3 evicted block 0 to
+        // admit block 16 (the upper purges remove it before L2/L1 fill, so
+        // no further replacement happens).
+        assert_eq!(victims, vec![0]);
+    }
+}

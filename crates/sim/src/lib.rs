@@ -25,6 +25,7 @@
 
 pub mod config;
 pub mod metrics;
+pub mod parallel;
 pub mod report;
 pub mod run;
 pub mod stats;
@@ -32,6 +33,7 @@ pub mod system;
 
 pub use config::{AccountingOptions, CbfParams, Mechanism, SimConfig};
 pub use metrics::Comparison;
+pub use parallel::{parallel_supported, run_feeds_par, run_traces_par, IntraOptions};
 pub use run::{
     run_duplicated, run_feeds, run_feeds_with, run_traces, run_traces_with, CoreFeed, CoreTrace,
     RunResult,

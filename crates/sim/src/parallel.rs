@@ -1,0 +1,1440 @@
+//! Deterministic intra-run parallelism: bound–weave core phases.
+//!
+//! The sequential harness in [`crate::run`] interleaves per-core trace
+//! streams by advancing whichever core has the smallest clock — a total
+//! order on references given by `(clock, core)` (ties go to the lowest
+//! core index). One simulation therefore uses one host core, no matter
+//! how many cores it models. This module parallelizes a *single* run
+//! without changing a bit of its output, exploiting the same structural
+//! split the paper's 8-core machine has: private L1–L3 per core, one
+//! shared L4 + prediction table.
+//!
+//! The scheduler alternates two phases over a bounded cycle quantum:
+//!
+//! * **bound** — every core advances independently on a worker thread
+//!   (the Chase–Lev pool shared with the `sweep` crate) through its
+//!   private levels until its clock reaches the quantum horizon. L1 hits
+//!   — the overwhelming majority of references — complete entirely
+//!   core-locally. Each L1 miss appends one event to the core's log:
+//!   either a private-level walk hit (promotion applied locally) or a
+//!   *deep* event whose shared-level outcome (L4 lookup, PT probe,
+//!   bypass, fill, recalibration due-check) is deliberately left
+//!   unresolved. Private fills for deep events are applied immediately —
+//!   under the inclusive policy the private column evolves identically
+//!   whether the shared level hits, misses, or is bypassed.
+//! * **weave** — the main thread merges the event logs in exactly the
+//!   `(clock, core)` order the sequential argmin scheduler would have
+//!   produced and commits shared L4/PT/energy state event by event.
+//!   Outcome-dependent statistics, latencies, and predictor updates are
+//!   resolved here, against shared state that is — by induction — the
+//!   sequential state at that reference.
+//!
+//! # Why the result is byte-identical
+//!
+//! *Order.* Clocks are kept in integer "grid" units of 1/256 cycle. The
+//! envelope ([`parallel_supported`]) requires `avg_cpi` to be a multiple
+//! of 1/256; every latency is a whole number of cycles, so all sequential
+//! `f64` clock arithmetic is exact on that grid (sums stay far below
+//! 2^45 cycles) and integer comparison reproduces the sequential float
+//! comparison bit for bit. Weave-side latencies accumulate per core in
+//! `off`; recalibration stalls shift *every* clock uniformly (`goff`) and
+//! therefore never change the order, so bound-side keys can omit them.
+//! An event commits only while `key + off < horizon`; every uncommitted
+//! or future reference of any live core is provably at or beyond the
+//! horizon, so the merge is the sequential total order restricted to the
+//! committed window.
+//!
+//! *State.* Private-level effects of an L1 miss never depend on the
+//! shared outcome, with two exceptions, both handled exactly: a dirty
+//! victim of the last private level must mark its block dirty in the LLC
+//! (the bound phase defers the mark into the event; the weave commits it
+//! in order), and a shared-LLC eviction must back-invalidate private
+//! copies of the victim. For the latter the weave proves the invalidation
+//! is a no-op — the victim is in no core's column, checked against the
+//! columns plus every block they touched or evicted since the epoch
+//! snapshot — and on the rare conflict it rolls the whole epoch back and
+//! replays it sequentially (same subroutines, real invalidations),
+//! parking not-yet-replayed records for the next bound phase.
+//!
+//! *Energy.* Under the envelope (default accounting, no prefetcher, not
+//! Phased) every dynamic-energy accumulator only ever receives one
+//! constant: `parallel_lookup_nj` per level, the PT access energy, the
+//! recalibration cost. Repeated addition of one constant into one
+//! accumulator is order-independent, so the engine counts events and
+//! replays the additions at the end, reproducing the sequential sums
+//! exactly.
+//!
+//! Configurations outside the envelope (exclusive/hybrid policies,
+//! Phased, prefetch, non-default accounting, fractional-grid CPI) fall
+//! back to the sequential harness — [`run_feeds_par`] is then
+//! [`crate::run::run_feeds`].
+
+use crate::config::{AccountingOptions, Mechanism, SimConfig};
+use crate::run::{core_physical, CoreFeed, CoreTrace, RunResult};
+use crate::stats::{PredictionStats, PrefetchSummary};
+use cache_sim::split::{fill_private_column, fill_shared_commit, promote_column};
+use cache_sim::{Cache, CacheConfig, HierarchyStats, InclusionPolicy, LevelId};
+use energy_model::EnergyAccount;
+use mem_trace::record::TraceRecord;
+use mem_trace::IterFeed;
+use redhip::{
+    CbfConfig, CountingBloomFilter, ExactCountingTable, Prediction, PredictionTable,
+    PresencePredictor, RecalibrationEngine,
+};
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Clock grid: 256 sub-cycle units per cycle (`avg_cpi` must be exact on
+/// this grid for the integer clocks to mirror the sequential floats).
+const GRID: u64 = 256;
+
+/// Sentinel for [`Event::hit`]: the walk missed every private level.
+const DEEP: u8 = u8::MAX;
+
+/// Records pulled per feed refill (same chunking as the sequential
+/// harness; the consumed sequence is identical either way).
+const TRACE_CHUNK: usize = 128;
+
+/// Options for an intra-run parallel simulation.
+pub struct IntraOptions<'a> {
+    /// Worker threads for the bound phase. `<= 1` runs sequentially.
+    pub jobs: usize,
+    /// Quantum horizon advance per round, in cycles. Affects performance
+    /// and memory only — results are identical for every value.
+    pub quantum_cycles: u64,
+    /// Called from the scheduling thread with the running count of
+    /// references bound so far (monotone, at most the run's total) —
+    /// during long bound phases as well as between rounds, so a stderr
+    /// heartbeat stays smooth.
+    pub progress: Option<&'a dyn Fn(u64)>,
+}
+
+impl Default for IntraOptions<'static> {
+    fn default() -> Self {
+        Self {
+            jobs: 1,
+            quantum_cycles: 32_768,
+            progress: None,
+        }
+    }
+}
+
+impl IntraOptions<'static> {
+    /// Options with `jobs` workers and default quantum.
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self {
+            jobs,
+            ..Self::default()
+        }
+    }
+}
+
+/// Whether `cfg` falls inside the bound–weave engine's exactness
+/// envelope. Outside it, [`run_feeds_par`] transparently runs the
+/// sequential harness.
+pub fn parallel_supported(cfg: &SimConfig) -> bool {
+    let grid = cfg.avg_cpi * GRID as f64;
+    matches!(cfg.policy, InclusionPolicy::Inclusive)
+        && cfg.prefetch.is_none()
+        && cfg.accounting == AccountingOptions::default()
+        && cfg.mechanism != Mechanism::Phased
+        && cfg.recalib_period != Some(0)
+        && cfg.refs_per_core > 0
+        && cfg.platform.levels.len() >= 2
+        && grid.is_finite()
+        && grid >= 0.0
+        && grid <= (1u64 << 40) as f64
+        && grid.fract() == 0.0
+}
+
+/// Runs `cfg` over one [`crate::run::CoreFeed`] per core with intra-run
+/// parallelism. Byte-identical to [`crate::run::run_feeds`] at every
+/// `opts.jobs` value; falls back to it when `opts.jobs <= 1` or the
+/// configuration is outside the engine's envelope.
+///
+/// # Panics
+/// Panics when the number of feeds differs from the platform's core
+/// count, the configuration is invalid, or a worker thread panics.
+pub fn run_feeds_par(cfg: &SimConfig, feeds: Vec<CoreFeed>, opts: &IntraOptions) -> RunResult {
+    assert_eq!(
+        feeds.len(),
+        cfg.platform.cores,
+        "need exactly one trace per core"
+    );
+    if opts.jobs <= 1 || !parallel_supported(cfg) {
+        return crate::run::run_feeds(cfg, feeds);
+    }
+    Engine::new(cfg, feeds).run(opts, None)
+}
+
+/// Iterator-stream variant of [`run_feeds_par`].
+///
+/// # Panics
+/// Same conditions as [`run_feeds_par`].
+pub fn run_traces_par(cfg: &SimConfig, traces: Vec<CoreTrace>, opts: &IntraOptions) -> RunResult {
+    let feeds = traces
+        .into_iter()
+        .map(|t| Box::new(IterFeed::new(t)) as CoreFeed)
+        .collect();
+    run_feeds_par(cfg, feeds, opts)
+}
+
+/// Like [`run_feeds_par`], but forces the bound–weave engine (even for
+/// `jobs <= 1`) and returns the shared-commit log alongside the result:
+/// one `(clock_grid, core)` entry per L1 miss, in commit order, where
+/// `clock_grid` is the issuing reference's clock in 1/256-cycle units
+/// (recalibration stalls excluded — they shift every core equally).
+/// Diagnostic/test support for the determinism property: the log is the
+/// exact `(clock, core)` order the sequential scheduler processes L1
+/// misses in.
+///
+/// # Panics
+/// Panics when `cfg` is outside [`parallel_supported`]'s envelope, plus
+/// the [`run_feeds_par`] conditions.
+pub fn run_feeds_par_commitlog(
+    cfg: &SimConfig,
+    feeds: Vec<CoreFeed>,
+    opts: &IntraOptions,
+) -> (RunResult, Vec<(u64, usize)>) {
+    assert_eq!(
+        feeds.len(),
+        cfg.platform.cores,
+        "need exactly one trace per core"
+    );
+    assert!(
+        parallel_supported(cfg),
+        "commit-log runs require the parallel envelope"
+    );
+    let mut log = Vec::new();
+    let result = Engine::new(cfg, feeds).run(opts, Some(&mut log));
+    (result, log)
+}
+
+/// Immutable per-run constants: pricing on the clock grid, recalibration
+/// policy, level geometry.
+struct Consts {
+    levels: usize,
+    priv_levels: usize,
+    llc: LevelId,
+    /// `avg_cpi` in grid units per gap unit.
+    k_grid: u64,
+    /// L1-hit latency, grid units.
+    l1_hit_grid: u64,
+    /// Per-level parallel lookup latency on a hit / miss, grid units.
+    lat_hit: Vec<u64>,
+    lat_miss: Vec<u64>,
+    /// PT probe latency charged per L1 miss (0 when not charged).
+    pt_grid: u64,
+    /// Count predictor energy events (ReDHiP/CBF with overhead on).
+    pred_overhead: bool,
+    pt_access_nj: f64,
+    recalib_threshold: u64,
+    recalib_cycles_grid: u64,
+    recalib_cost_nj: f64,
+    /// Recalibration charges energy + stall (overhead on, table arm).
+    recalib_charge: bool,
+    target: u64,
+}
+
+/// Order-independent dynamic-energy event counts; the final account
+/// replays them as repeated constant additions (see module docs).
+#[derive(Clone, Default)]
+struct EnergyCounts {
+    levels: Vec<u64>,
+    predictor: u64,
+    recalib: u64,
+}
+
+impl EnergyCounts {
+    fn new(levels: usize) -> Self {
+        Self {
+            levels: vec![0; levels],
+            ..Self::default()
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            *a += b;
+        }
+        self.predictor += other.predictor;
+        self.recalib += other.recalib;
+    }
+}
+
+/// One shared-level event logged by the bound phase.
+#[derive(Clone, Copy)]
+struct Event {
+    /// The reference's clock in grid units, *excluding* weave latencies
+    /// (`off`) and recalibration stalls (`goff`) — the bound-known part.
+    key: u64,
+    block: u64,
+    /// Private hit level, or [`DEEP`].
+    hit: u8,
+    /// Dirty victim of the last private level, to be marked in the LLC
+    /// at commit (at most one per event — a deep event fills the last
+    /// private level exactly once).
+    mark: Option<u64>,
+}
+
+/// Clonable per-core simulation state (everything an epoch rollback must
+/// restore; the feed itself never rolls back — consumed records live in
+/// the epoch log).
+#[derive(Clone)]
+struct CoreSim {
+    column: Vec<Cache>,
+    stats: HierarchyStats,
+    counts: EnergyCounts,
+    /// Bound-side clock, grid units (excludes `off` + `goff`).
+    clk: u64,
+    refs: u64,
+    done: bool,
+    /// Pending shared events; `head` is the next uncommitted index.
+    events: Vec<Event>,
+    head: usize,
+    /// Blocks filled into this column since the epoch snapshot.
+    touched: HashSet<u64>,
+    /// Replacement victims evicted from this column since the snapshot.
+    evicted: HashSet<u64>,
+}
+
+/// Chunked pull-ahead over a feed, with a pushback queue for records a
+/// rolled-back epoch bound but did not replay.
+struct Feeder {
+    src: CoreFeed,
+    buf: Vec<TraceRecord>,
+    pos: usize,
+    pushback: VecDeque<TraceRecord>,
+}
+
+impl Feeder {
+    fn new(src: CoreFeed) -> Self {
+        Self {
+            src,
+            buf: Vec::with_capacity(TRACE_CHUNK),
+            pos: 0,
+            pushback: VecDeque::new(),
+        }
+    }
+
+    /// Next record and whether it is fresh from the feed (pushed-back
+    /// records were already counted for progress and already carry the
+    /// per-core physical address mapping).
+    fn next(&mut self) -> Option<(TraceRecord, bool)> {
+        if let Some(r) = self.pushback.pop_front() {
+            return Some((r, false));
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            if self.src.refill(&mut self.buf, TRACE_CHUNK) == 0 {
+                return None;
+            }
+        }
+        let r = self.buf[self.pos];
+        self.pos += 1;
+        Some((r, true))
+    }
+
+    fn push_front(&mut self, recs: &[TraceRecord]) {
+        for &r in recs.iter().rev() {
+            self.pushback.push_front(r);
+        }
+    }
+}
+
+struct PerCore {
+    sim: CoreSim,
+    feed: Feeder,
+    /// Every record bound since the epoch snapshot (physical addresses
+    /// applied), in bind order — the sequential replay input on rollback.
+    log: Vec<TraceRecord>,
+}
+
+/// Predictor beside the shared LLC, devirtualized so the whole shared
+/// half clones cheaply for epoch snapshots.
+#[derive(Clone)]
+enum Pred {
+    None,
+    Oracle,
+    Table(PredictionTable),
+    Exact(ExactCountingTable),
+    Cbf(CountingBloomFilter),
+}
+
+/// Clonable shared-side state: the LLC bank, the predictor, all counters
+/// the weave owns, and the two latency offsets.
+#[derive(Clone)]
+struct SharedSim {
+    llc: Cache,
+    pred: Pred,
+    stats: HierarchyStats,
+    pred_stats: PredictionStats,
+    counts: EnergyCounts,
+    /// L1 misses since the last recalibration (commit order).
+    misses: u64,
+    /// Per-core weave-side latency, grid units.
+    off: Vec<u64>,
+    /// Uniform recalibration stall applied to every core, grid units.
+    goff: u64,
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    consts: Consts,
+    cores: Vec<PerCore>,
+    shared: SharedSim,
+    snap_cores: Vec<CoreSim>,
+    snap_shared: SharedSim,
+    snap_log_len: usize,
+}
+
+/// True when `block` may be resident anywhere in a private column — the
+/// weave's proof obligation before skipping a back-invalidation.
+fn conflicts(cores: &[PerCore], block: u64) -> bool {
+    cores.iter().any(|pc| {
+        pc.sim.touched.contains(&block)
+            || pc.sim.evicted.contains(&block)
+            || pc.sim.column.iter().any(|c| c.probe(block))
+    })
+}
+
+/// Advances one core through its private levels until its bound-side
+/// clock reaches `limit` (grid units), its target, or its feed's end.
+fn bind_core(
+    cfg: &SimConfig,
+    cn: &Consts,
+    pc: &mut PerCore,
+    core: usize,
+    limit: u64,
+    refs_ctr: &AtomicU64,
+) {
+    let mut victims: Vec<u64> = Vec::new();
+    let mut fresh = 0u64;
+    while pc.sim.clk < limit && pc.sim.refs < cn.target {
+        let Some((mut rec, from_feed)) = pc.feed.next() else {
+            pc.sim.done = true;
+            break;
+        };
+        if from_feed {
+            rec.addr = core_physical(cfg, core, rec.addr);
+            fresh += 1;
+            if fresh == 8192 {
+                refs_ctr.fetch_add(fresh, Ordering::Relaxed);
+                fresh = 0;
+            }
+        }
+        pc.log.push(rec);
+        bound_step(&mut pc.sim, cn, &rec, &mut victims);
+    }
+    if pc.sim.refs >= cn.target {
+        pc.sim.done = true;
+    }
+    if fresh > 0 {
+        refs_ctr.fetch_add(fresh, Ordering::Relaxed);
+    }
+}
+
+/// One reference of the bound phase: private levels only, one event per
+/// L1 miss, outcome-dependent charges deferred to the weave.
+fn bound_step(sim: &mut CoreSim, cn: &Consts, rec: &TraceRecord, victims: &mut Vec<u64>) {
+    let block = rec.addr >> 6;
+    let store = rec.op.is_store();
+    let key = sim.clk;
+    sim.clk += u64::from(rec.gap) * cn.k_grid;
+    sim.refs += 1;
+    if sim.column[0].access(block, store) {
+        sim.stats.levels[0].lookups += 1;
+        sim.stats.levels[0].hits += 1;
+        sim.counts.levels[0] += 1;
+        sim.clk += cn.l1_hit_grid;
+        return;
+    }
+    // L1 miss: the missed probe is logged (no second access), the PT
+    // probe's wire+array latency is mechanism-constant, and the walk
+    // outcome decides everything else.
+    sim.stats.levels[0].lookups += 1;
+    sim.counts.levels[0] += 1;
+    sim.clk += cn.lat_miss[0] + cn.pt_grid;
+    if cn.pred_overhead {
+        // The PT probe itself (one array access per L1 miss) is
+        // mechanism-constant; only the outcome is weave-side.
+        sim.counts.predictor += 1;
+    }
+    sim.touched.insert(block);
+    let mut hit_at = None;
+    for lvl in 1..cn.priv_levels {
+        if sim.column[lvl].access(block, false) {
+            hit_at = Some(lvl);
+            break;
+        }
+    }
+    match hit_at {
+        Some(h) => {
+            // A private walk hit happens under *every* mechanism: the
+            // block is on chip, so (inclusion + no-false-negatives) no
+            // predictor ever bypasses it. Lookup counts and latencies up
+            // to the hit are therefore bound-known.
+            for lvl in 1..h {
+                sim.stats.levels[lvl].lookups += 1;
+                sim.counts.levels[lvl] += 1;
+                sim.clk += cn.lat_miss[lvl];
+            }
+            sim.stats.levels[h].lookups += 1;
+            sim.stats.levels[h].hits += 1;
+            sim.counts.levels[h] += 1;
+            sim.clk += cn.lat_hit[h];
+            promote_column(
+                &mut sim.column,
+                h as u8,
+                block,
+                store,
+                &mut sim.stats,
+                victims,
+            );
+            sim.events.push(Event {
+                key,
+                block,
+                hit: h as u8,
+                mark: None,
+            });
+        }
+        None => {
+            // Deep event. The probes above were state-neutral misses;
+            // whether the weave walks (and charges) them depends on the
+            // prediction, so nothing is counted here. The private fills
+            // are outcome-independent: LLC hit (promote) and memory fill
+            // produce the same top-down column fills.
+            let mut mark = None;
+            for lvl in (0..cn.priv_levels).rev() {
+                let dirty = lvl == 0 && store;
+                if let Some(wb) = fill_private_column(
+                    &mut sim.column,
+                    lvl as u8,
+                    block,
+                    dirty,
+                    &mut sim.stats,
+                    victims,
+                ) {
+                    debug_assert!(mark.is_none(), "one last-private fill per reference");
+                    mark = Some(wb);
+                }
+            }
+            sim.events.push(Event {
+                key,
+                block,
+                hit: DEEP,
+                mark,
+            });
+        }
+    }
+    for v in victims.drain(..) {
+        sim.evicted.insert(v);
+    }
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SimConfig, feeds: Vec<CoreFeed>) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
+        debug_assert!(parallel_supported(cfg));
+        let p = &cfg.platform;
+        let block = 64u64;
+        let levels = p.levels.len();
+        let priv_levels = levels - 1;
+        let llc = priv_levels as LevelId;
+
+        let column_cfgs: Vec<CacheConfig> = p.levels[..priv_levels]
+            .iter()
+            .map(|l| CacheConfig {
+                capacity_bytes: l.capacity_bytes,
+                assoc: l.assoc,
+                block_bytes: block,
+                policy: cfg.replacement,
+            })
+            .collect();
+        let llc_cfg = {
+            let l = p.llc();
+            CacheConfig {
+                capacity_bytes: l.capacity_bytes,
+                assoc: l.assoc,
+                block_bytes: block,
+                policy: cfg.replacement,
+            }
+        };
+
+        let pt_bytes = cfg.effective_pt_bytes();
+        let pt_spec = p.predictor.scaled_to(pt_bytes);
+        let mut recalib_engine = None;
+        let pred = match cfg.mechanism {
+            Mechanism::Base | Mechanism::Phased => Pred::None,
+            Mechanism::Oracle => Pred::Oracle,
+            Mechanism::Cbf => {
+                let c = CbfConfig::from_budget(pt_bytes, cfg.cbf.counter_bits, cfg.cbf.num_hashes);
+                Pred::Cbf(CountingBloomFilter::new(c))
+            }
+            Mechanism::Redhip if cfg.recalib_period == Some(1) => {
+                Pred::Exact(ExactCountingTable::from_capacity_bytes(pt_bytes))
+            }
+            Mechanism::Redhip => {
+                let table = PredictionTable::from_capacity_bytes(pt_bytes);
+                recalib_engine = Some(RecalibrationEngine::new(
+                    llc_cfg.geometry().sets(),
+                    llc_cfg.assoc,
+                    table.lines(),
+                    cfg.recalib_banks,
+                    p.llc().tag_energy_nj,
+                    pt_spec.access_energy_nj,
+                ));
+                Pred::Table(table)
+            }
+        };
+        let recalib_threshold = match (&pred, cfg.recalib_period) {
+            (Pred::Table(_), Some(period)) => period,
+            _ => u64::MAX,
+        };
+        let recalib_cost = recalib_engine.map(|e| e.cost());
+        let pred_overhead = cfg.count_prediction_overhead
+            && matches!(cfg.mechanism, Mechanism::Redhip | Mechanism::Cbf);
+
+        let consts = Consts {
+            levels,
+            priv_levels,
+            llc,
+            k_grid: (cfg.avg_cpi * GRID as f64) as u64,
+            l1_hit_grid: p.levels[0].parallel_latency(true) * GRID,
+            lat_hit: p
+                .levels
+                .iter()
+                .map(|l| l.parallel_latency(true) * GRID)
+                .collect(),
+            lat_miss: p
+                .levels
+                .iter()
+                .map(|l| l.parallel_latency(false) * GRID)
+                .collect(),
+            pt_grid: if pred_overhead {
+                pt_spec.lookup_latency() * GRID
+            } else {
+                0
+            },
+            pred_overhead,
+            pt_access_nj: pt_spec.access_energy_nj,
+            recalib_threshold,
+            recalib_cycles_grid: recalib_cost.map_or(0, |c| c.cycles * GRID),
+            recalib_cost_nj: recalib_cost.map_or(0.0, |c| c.energy_nj),
+            recalib_charge: cfg.count_prediction_overhead && recalib_cost.is_some(),
+            target: cfg.refs_per_core as u64,
+        };
+
+        let cores: Vec<PerCore> = feeds
+            .into_iter()
+            .map(|f| PerCore {
+                sim: CoreSim {
+                    column: column_cfgs.iter().map(|c| Cache::new(*c)).collect(),
+                    stats: HierarchyStats::new(levels),
+                    counts: EnergyCounts::new(levels),
+                    clk: 0,
+                    refs: 0,
+                    done: false,
+                    events: Vec::new(),
+                    head: 0,
+                    touched: HashSet::new(),
+                    evicted: HashSet::new(),
+                },
+                feed: Feeder::new(f),
+                log: Vec::new(),
+            })
+            .collect();
+        let shared = SharedSim {
+            llc: Cache::new(llc_cfg),
+            pred,
+            stats: HierarchyStats::new(levels),
+            pred_stats: PredictionStats::default(),
+            counts: EnergyCounts::new(levels),
+            misses: 0,
+            off: vec![0; cores.len()],
+            goff: 0,
+        };
+        let snap_cores = cores.iter().map(|p| p.sim.clone()).collect();
+        let snap_shared = shared.clone();
+        Self {
+            cfg,
+            consts,
+            cores,
+            shared,
+            snap_cores,
+            snap_shared,
+            snap_log_len: 0,
+        }
+    }
+
+    fn run(mut self, opts: &IntraOptions, mut log: Option<&mut Vec<(u64, usize)>>) -> RunResult {
+        let quantum = opts.quantum_cycles.max(64) * GRID;
+        let refs_ctr = AtomicU64::new(0);
+        loop {
+            if self
+                .cores
+                .iter()
+                .all(|p| p.sim.done && p.sim.head == p.sim.events.len())
+            {
+                break;
+            }
+            let h_next = self.next_horizon(quantum);
+            self.bind(h_next, opts, &refs_ctr);
+            let aborted = self.weave(h_next, &mut log);
+            if aborted {
+                self.redo(&mut log);
+            } else if self.cores.iter().all(|p| p.sim.head == p.sim.events.len()) {
+                // Clean point: every bound reference is committed, so the
+                // epoch snapshot moves here and the conflict sets reset.
+                for p in &mut self.cores {
+                    p.sim.events.clear();
+                    p.sim.head = 0;
+                    p.log.clear();
+                    p.sim.touched.clear();
+                    p.sim.evicted.clear();
+                }
+                self.take_snapshot(&log);
+            } else {
+                // Deferred events stay queued; drop the committed prefix.
+                for p in &mut self.cores {
+                    let h = p.sim.head;
+                    p.sim.events.drain(..h);
+                    p.sim.head = 0;
+                }
+            }
+            if let Some(f) = opts.progress {
+                f(refs_ctr.load(Ordering::Relaxed));
+            }
+        }
+        self.finish()
+    }
+
+    /// Next commit horizon: one quantum past the earliest pending event
+    /// or unfinished core (true time, `goff` excluded throughout).
+    fn next_horizon(&self, quantum: u64) -> u64 {
+        let mut m = u64::MAX;
+        for (c, pc) in self.cores.iter().enumerate() {
+            let s = &pc.sim;
+            if s.head < s.events.len() {
+                m = m.min(s.events[s.head].key + self.shared.off[c]);
+            }
+            if !s.done {
+                m = m.min(s.clk + self.shared.off[c]);
+            }
+        }
+        debug_assert!(m < u64::MAX, "horizon requested with no work left");
+        m.saturating_add(quantum)
+    }
+
+    /// Bound phase: advance every unfinished core to the horizon, on the
+    /// worker pool when more than one core has work.
+    fn bind(&mut self, h_next: u64, opts: &IntraOptions, refs_ctr: &AtomicU64) {
+        let n = self.cores.len();
+        let limits: Vec<u64> = (0..n)
+            .map(|c| h_next.saturating_sub(self.shared.off[c]))
+            .collect();
+        let active: Vec<usize> = (0..n)
+            .filter(|&c| !self.cores[c].sim.done && self.cores[c].sim.clk < limits[c])
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        let cfg = self.cfg;
+        let cn = &self.consts;
+        if opts.jobs <= 1 || active.len() == 1 {
+            for &c in &active {
+                bind_core(cfg, cn, &mut self.cores[c], c, limits[c], refs_ctr);
+            }
+            return;
+        }
+        let slots: Vec<Mutex<&mut PerCore>> = self.cores.iter_mut().map(Mutex::new).collect();
+        let ticks = AtomicU64::new(0);
+        let workers = opts.jobs.min(active.len());
+        let result = pool::run_ordered(
+            workers,
+            &active,
+            &ticks,
+            |_| {
+                if let Some(f) = opts.progress {
+                    f(refs_ctr.load(Ordering::Relaxed));
+                }
+            },
+            |c| {
+                let mut pc = slots[c].lock().expect("bind slot poisoned");
+                bind_core(cfg, cn, &mut pc, c, limits[c], refs_ctr);
+            },
+        );
+        if let Err(e) = result {
+            panic!("intra-run worker panicked: {e}");
+        }
+    }
+
+    /// Weave phase: commit pending events in `(clock, core)` order up to
+    /// the horizon. Returns true when a shared-LLC eviction conflicted
+    /// with a private column (the epoch must be replayed sequentially).
+    fn weave(&mut self, h_next: u64, log: &mut Option<&mut Vec<(u64, usize)>>) -> bool {
+        let n = self.cores.len();
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for c in 0..n {
+                let s = &self.cores[c].sim;
+                if s.head < s.events.len() {
+                    let eff = s.events[s.head].key + self.shared.off[c];
+                    if eff < h_next && best.is_none_or(|b| (eff, c) < b) {
+                        best = Some((eff, c));
+                    }
+                }
+            }
+            let Some((eff, c)) = best else {
+                return false;
+            };
+            let ev = self.cores[c].sim.events[self.cores[c].sim.head];
+            if self.commit_event(c, eff, &ev, log) {
+                return true;
+            }
+            self.cores[c].sim.head += 1;
+        }
+    }
+
+    /// Commits one event against the shared state. Returns true on a
+    /// back-invalidation conflict (nothing further is committed).
+    fn commit_event(
+        &mut self,
+        c: usize,
+        eff: u64,
+        ev: &Event,
+        log: &mut Option<&mut Vec<(u64, usize)>>,
+    ) -> bool {
+        let cn = &self.consts;
+        let llc_idx = cn.llc as usize;
+        self.shared.misses += 1;
+        let mut lat = 0u64;
+        if ev.hit != DEEP {
+            // Private walk hit: every predictor walks (see bound_step);
+            // only the outcome counters are shared-side.
+            let sh = &mut self.shared;
+            match &sh.pred {
+                Pred::None => {}
+                Pred::Oracle => {
+                    sh.pred_stats.lookups += 1;
+                    debug_assert!(
+                        sh.llc.probe(ev.block),
+                        "inclusion: private hit implies LLC residency"
+                    );
+                    sh.pred_stats.walk_hits += 1;
+                }
+                Pred::Table(t) => {
+                    sh.pred_stats.lookups += 1;
+                    debug_assert!(t.test(ev.block), "false negative on a resident block");
+                    sh.pred_stats.walk_hits += 1;
+                }
+                Pred::Exact(p) => {
+                    sh.pred_stats.lookups += 1;
+                    debug_assert!(p.predict(ev.block) == Prediction::MaybePresent);
+                    sh.pred_stats.walk_hits += 1;
+                }
+                Pred::Cbf(p) => {
+                    sh.pred_stats.lookups += 1;
+                    debug_assert!(p.predict(ev.block) == Prediction::MaybePresent);
+                    sh.pred_stats.walk_hits += 1;
+                }
+            }
+        } else {
+            let sh = &mut self.shared;
+            let walk = match &sh.pred {
+                Pred::None => true,
+                Pred::Oracle => {
+                    sh.pred_stats.lookups += 1;
+                    sh.llc.probe(ev.block)
+                }
+                Pred::Table(t) => {
+                    sh.pred_stats.lookups += 1;
+                    t.test(ev.block)
+                }
+                Pred::Exact(p) => {
+                    sh.pred_stats.lookups += 1;
+                    p.predict(ev.block) == Prediction::MaybePresent
+                }
+                Pred::Cbf(p) => {
+                    sh.pred_stats.lookups += 1;
+                    p.predict(ev.block) == Prediction::MaybePresent
+                }
+            };
+            let mut llc_hit = false;
+            if walk {
+                // The private levels all missed (that is what DEEP
+                // means); the walk's probes of them are charged here.
+                for lvl in 1..cn.priv_levels {
+                    sh.stats.levels[lvl].lookups += 1;
+                    sh.counts.levels[lvl] += 1;
+                    lat += cn.lat_miss[lvl];
+                }
+                let li = cn.llc as usize;
+                llc_hit = sh.llc.access(ev.block, false);
+                sh.stats.levels[li].lookups += 1;
+                sh.counts.levels[li] += 1;
+                if llc_hit {
+                    sh.stats.levels[li].hits += 1;
+                    lat += cn.lat_hit[li];
+                } else {
+                    lat += cn.lat_miss[li];
+                }
+                match &sh.pred {
+                    Pred::None => {}
+                    Pred::Oracle => {
+                        debug_assert!(llc_hit, "oracle only walks resident blocks");
+                        sh.pred_stats.walk_hits += 1;
+                    }
+                    _ => {
+                        if llc_hit {
+                            sh.pred_stats.walk_hits += 1;
+                        } else {
+                            sh.pred_stats.false_positives += 1;
+                        }
+                    }
+                }
+            } else {
+                debug_assert!(
+                    !sh.llc.probe(ev.block),
+                    "false negative: bypassed a resident block"
+                );
+                sh.pred_stats.bypasses += 1;
+            }
+            if !llc_hit {
+                let victim = fill_shared_commit(
+                    &mut self.shared.llc,
+                    cn.llc,
+                    ev.block,
+                    &mut self.shared.stats,
+                );
+                if let Some(v) = victim {
+                    if conflicts(&self.cores, v.block) {
+                        return true;
+                    }
+                    // The victim is in no private column, so the
+                    // sequential back-invalidation is a no-op; only its
+                    // own dirty bit can force a memory writeback.
+                    if v.dirty {
+                        self.shared.stats.memory_writebacks += 1;
+                    }
+                }
+                self.shared.stats.memory_fetches += 1;
+                self.predictor_fill(ev.block, victim.map(|v| v.block));
+            }
+        }
+        if let Some(mb) = ev.mark {
+            self.shared.stats.levels[llc_idx].writebacks_in += 1;
+            let ok = self.shared.llc.mark_dirty(mb);
+            assert!(ok, "weave: dirty-mark target not LLC-resident");
+        }
+        self.shared.off[c] += lat;
+        if let Some(l) = log.as_deref_mut() {
+            l.push((eff, c));
+        }
+        if self.shared.misses >= self.consts.recalib_threshold {
+            self.recalibrate();
+        }
+        false
+    }
+
+    /// Predictor updates for one committed LLC fill (+ optional
+    /// eviction), in the sequential order: inserts, then removals.
+    fn predictor_fill(&mut self, block: u64, evicted: Option<u64>) {
+        let sh = &mut self.shared;
+        let overhead = self.consts.pred_overhead;
+        match &mut sh.pred {
+            Pred::Table(t) => {
+                t.set(block);
+                sh.pred_stats.updates += 1;
+                if overhead {
+                    sh.counts.predictor += 1;
+                }
+            }
+            Pred::Exact(p) => {
+                p.on_fill(block);
+                sh.pred_stats.updates += 1;
+                if overhead {
+                    sh.counts.predictor += 1;
+                }
+                if let Some(v) = evicted {
+                    p.on_evict(v);
+                    sh.pred_stats.updates += 1;
+                    if overhead {
+                        sh.counts.predictor += 1;
+                    }
+                }
+            }
+            Pred::Cbf(p) => {
+                p.on_fill(block);
+                sh.pred_stats.updates += 1;
+                if overhead {
+                    sh.counts.predictor += 1;
+                }
+                if let Some(v) = evicted {
+                    p.on_evict(v);
+                    sh.pred_stats.updates += 1;
+                    if overhead {
+                        sh.counts.predictor += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Recalibration in commit order: rebuild the table from the LLC,
+    /// charge the modelled stall uniformly (it never reorders commits).
+    fn recalibrate(&mut self) {
+        let sh = &mut self.shared;
+        sh.misses = 0;
+        sh.pred_stats.recalibrations += 1;
+        if let Pred::Table(t) = &mut sh.pred {
+            t.recalibrate_from(sh.llc.resident_blocks());
+            if self.consts.recalib_charge {
+                sh.counts.recalib += 1;
+                sh.goff += self.consts.recalib_cycles_grid;
+            }
+        }
+    }
+
+    /// Epoch rollback: restore the snapshot and replay every record the
+    /// epoch bound with full sequential semantics (fused private+shared
+    /// stepping, real back-invalidations), stopping at the first point
+    /// where an unfinished core's next record is still in its feed.
+    /// Unreplayed records park in the feeds' pushback queues.
+    fn redo(&mut self, log: &mut Option<&mut Vec<(u64, usize)>>) {
+        for (pc, snap) in self.cores.iter_mut().zip(&self.snap_cores) {
+            pc.sim = snap.clone();
+        }
+        self.shared = self.snap_shared.clone();
+        if let Some(l) = log.as_deref_mut() {
+            l.truncate(self.snap_log_len);
+        }
+        let n = self.cores.len();
+        let mut idx = vec![0usize; n];
+        let mut victims: Vec<u64> = Vec::new();
+        loop {
+            let mut best: Option<(u64, usize, bool)> = None;
+            for (c, (pc, i)) in self.cores.iter().zip(&idx).enumerate() {
+                let s = &pc.sim;
+                let has = *i < pc.log.len();
+                if !has && s.done {
+                    continue;
+                }
+                let key = s.clk + self.shared.off[c];
+                if best.is_none_or(|(bk, bc, _)| (key, c) < (bk, bc)) {
+                    best = Some((key, c, has));
+                }
+            }
+            let Some((key, c, has)) = best else { break };
+            if !has {
+                break;
+            }
+            let rec = self.cores[c].log[idx[c]];
+            idx[c] += 1;
+            self.seq_step(c, key, &rec, &mut victims, log);
+            if self.cores[c].sim.refs >= self.consts.target {
+                self.cores[c].sim.done = true;
+            }
+        }
+        for (c, pc) in self.cores.iter_mut().enumerate() {
+            let rest: Vec<TraceRecord> = pc.log[idx[c]..].to_vec();
+            pc.feed.push_front(&rest);
+            pc.log.clear();
+            pc.sim.events.clear();
+            pc.sim.head = 0;
+            pc.sim.touched.clear();
+            pc.sim.evicted.clear();
+        }
+        self.take_snapshot(log);
+    }
+
+    /// One fully sequential reference during an epoch replay. Mirrors
+    /// `System::step_with` under the envelope, over the split state.
+    fn seq_step(
+        &mut self,
+        c: usize,
+        key: u64,
+        rec: &TraceRecord,
+        victims: &mut Vec<u64>,
+        log: &mut Option<&mut Vec<(u64, usize)>>,
+    ) {
+        let block = rec.addr >> 6;
+        let store = rec.op.is_store();
+        {
+            let s = &mut self.cores[c].sim;
+            s.clk += u64::from(rec.gap) * self.consts.k_grid;
+            s.refs += 1;
+            if s.column[0].access(block, store) {
+                s.stats.levels[0].lookups += 1;
+                s.stats.levels[0].hits += 1;
+                s.counts.levels[0] += 1;
+                s.clk += self.consts.l1_hit_grid;
+                return;
+            }
+            s.stats.levels[0].lookups += 1;
+            s.counts.levels[0] += 1;
+        }
+        self.shared.misses += 1;
+        let mut lat = self.consts.lat_miss[0] + self.consts.pt_grid;
+        if self.consts.pred_overhead {
+            self.cores[c].sim.counts.predictor += 1;
+        }
+        let walk = {
+            let sh = &mut self.shared;
+            match &sh.pred {
+                Pred::None => true,
+                Pred::Oracle => {
+                    sh.pred_stats.lookups += 1;
+                    sh.llc.probe(block)
+                }
+                Pred::Table(t) => {
+                    sh.pred_stats.lookups += 1;
+                    t.test(block)
+                }
+                Pred::Exact(p) => {
+                    sh.pred_stats.lookups += 1;
+                    p.predict(block) == Prediction::MaybePresent
+                }
+                Pred::Cbf(p) => {
+                    sh.pred_stats.lookups += 1;
+                    p.predict(block) == Prediction::MaybePresent
+                }
+            }
+        };
+        let mut onchip = false;
+        if walk {
+            {
+                let s = &mut self.cores[c].sim;
+                for lvl in 1..self.consts.priv_levels {
+                    s.stats.levels[lvl].lookups += 1;
+                    s.counts.levels[lvl] += 1;
+                    if s.column[lvl].access(block, false) {
+                        s.stats.levels[lvl].hits += 1;
+                        lat += self.consts.lat_hit[lvl];
+                        promote_column(
+                            &mut s.column,
+                            lvl as u8,
+                            block,
+                            store,
+                            &mut s.stats,
+                            victims,
+                        );
+                        victims.clear();
+                        onchip = true;
+                        break;
+                    }
+                    lat += self.consts.lat_miss[lvl];
+                }
+            }
+            if !onchip {
+                let li = self.consts.llc as usize;
+                let hit = self.shared.llc.access(block, false);
+                self.shared.stats.levels[li].lookups += 1;
+                self.shared.counts.levels[li] += 1;
+                if hit {
+                    self.shared.stats.levels[li].hits += 1;
+                    lat += self.consts.lat_hit[li];
+                    onchip = true;
+                    self.fill_column_top(c, block, store, victims);
+                } else {
+                    lat += self.consts.lat_miss[li];
+                }
+            }
+            match &self.shared.pred {
+                Pred::None => {}
+                Pred::Oracle => {
+                    debug_assert!(onchip, "oracle only walks resident blocks");
+                    self.shared.pred_stats.walk_hits += 1;
+                }
+                _ => {
+                    if onchip {
+                        self.shared.pred_stats.walk_hits += 1;
+                    } else {
+                        self.shared.pred_stats.false_positives += 1;
+                    }
+                }
+            }
+        } else {
+            debug_assert!(!self.shared.llc.probe(block), "false negative");
+            self.shared.pred_stats.bypasses += 1;
+        }
+        if !onchip {
+            let victim = fill_shared_commit(
+                &mut self.shared.llc,
+                self.consts.llc,
+                block,
+                &mut self.shared.stats,
+            );
+            if let Some(v) = victim {
+                let mut dirty = v.dirty;
+                for k in 0..self.cores.len() {
+                    for lvl in 0..self.consts.priv_levels {
+                        if let Some(e) = self.cores[k].sim.column[lvl].invalidate(v.block) {
+                            self.shared.stats.count_invalidation(lvl as u8);
+                            dirty |= e.dirty;
+                        }
+                    }
+                }
+                if dirty {
+                    self.shared.stats.memory_writebacks += 1;
+                }
+            }
+            self.shared.stats.memory_fetches += 1;
+            self.predictor_fill(block, victim.map(|v| v.block));
+            self.fill_column_top(c, block, store, victims);
+        }
+        self.cores[c].sim.clk += lat;
+        if let Some(l) = log.as_deref_mut() {
+            l.push((key, c));
+        }
+        if self.shared.misses >= self.consts.recalib_threshold {
+            self.recalibrate();
+        }
+    }
+
+    /// Fills `block` into every private level of core `c` top-down (the
+    /// shared half of a promote-from-LLC or a memory fill), applying any
+    /// last-private-level dirty mark to the LLC immediately — sequential
+    /// semantics, used only by the replay path.
+    fn fill_column_top(&mut self, c: usize, block: u64, store: bool, victims: &mut Vec<u64>) {
+        for lvl in (0..self.consts.priv_levels).rev() {
+            let dirty = lvl == 0 && store;
+            let s = &mut self.cores[c].sim;
+            if let Some(wb) = fill_private_column(
+                &mut s.column,
+                lvl as u8,
+                block,
+                dirty,
+                &mut s.stats,
+                victims,
+            ) {
+                self.shared.stats.levels[self.consts.llc as usize].writebacks_in += 1;
+                let ok = self.shared.llc.mark_dirty(wb);
+                debug_assert!(ok, "inclusion violated: writeback target absent in LLC");
+            }
+        }
+        victims.clear();
+    }
+
+    fn take_snapshot(&mut self, log: &Option<&mut Vec<(u64, usize)>>) {
+        self.snap_cores.clear();
+        self.snap_cores
+            .extend(self.cores.iter().map(|p| p.sim.clone()));
+        self.snap_shared = self.shared.clone();
+        self.snap_log_len = log.as_ref().map_or(0, |l| l.len());
+    }
+
+    fn finish(self) -> RunResult {
+        let cn = &self.consts;
+        let mut stats = self.shared.stats.clone();
+        let mut counts = self.shared.counts.clone();
+        let mut refs = Vec::with_capacity(self.cores.len());
+        let mut max_grid = 0u64;
+        for (c, pc) in self.cores.iter().enumerate() {
+            stats.merge(&pc.sim.stats);
+            counts.merge(&pc.sim.counts);
+            refs.push(pc.sim.refs);
+            max_grid = max_grid.max(pc.sim.clk + self.shared.off[c] + self.shared.goff);
+        }
+        let cycles = max_grid.div_ceil(GRID);
+        // Replay the dynamic-energy additions: each accumulator receives
+        // one constant, so repetition count determines the exact f64 sum.
+        let mut acc = EnergyAccount::new(cn.levels);
+        for (lvl, &n) in counts.levels.iter().enumerate() {
+            let nj = self.cfg.platform.levels[lvl].parallel_lookup_nj();
+            for _ in 0..n {
+                acc.add_level(lvl, nj);
+            }
+        }
+        for _ in 0..counts.predictor {
+            acc.add_predictor(cn.pt_access_nj);
+        }
+        for _ in 0..counts.recalib {
+            acc.add_recalibration(cn.recalib_cost_nj);
+        }
+        RunResult {
+            cycles,
+            refs_per_core: refs,
+            energy: acc.finalize(
+                &self.cfg.platform,
+                cycles,
+                self.cfg.mechanism.has_predictor(),
+            ),
+            hierarchy: stats,
+            prediction: self.shared.pred_stats,
+            prefetch: PrefetchSummary::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_feeds_with, run_traces, CoreTrace};
+    use energy_model::presets::demo_scale;
+    use mem_trace::record::MemOp;
+    use minijson::ToJson;
+
+    fn tiny_cfg(mechanism: Mechanism) -> SimConfig {
+        let mut platform = demo_scale();
+        platform.cores = 2;
+        let mut c = SimConfig::new(platform, mechanism);
+        c.refs_per_core = 40_000;
+        c.recalib_period = Some(2_000);
+        c
+    }
+
+    fn stream(seed: u64) -> CoreTrace {
+        Box::new((0..u64::MAX).map(move |i| {
+            let x = (i.wrapping_mul(6364136223846793005).wrapping_add(seed)) >> 33;
+            let addr = if i % 8 != 0 {
+                (x % 128) * 64
+            } else {
+                0x1000_0000 + (x % (1 << 22)) * 64
+            };
+            TraceRecord::new(
+                0x400 + (i % 7) * 4,
+                addr,
+                if i % 5 == 0 {
+                    MemOp::Store
+                } else {
+                    MemOp::Load
+                },
+                2,
+            )
+        }))
+    }
+
+    fn run_par(cfg: &SimConfig, seeds: &[u64], jobs: usize) -> RunResult {
+        let traces = seeds.iter().map(|&s| stream(s)).collect();
+        run_traces_par(cfg, traces, &IntraOptions::with_jobs(jobs))
+    }
+
+    #[test]
+    fn envelope_accepts_defaults_and_rejects_out_of_scope() {
+        let cfg = tiny_cfg(Mechanism::Redhip);
+        assert!(parallel_supported(&cfg));
+        let mut phased = tiny_cfg(Mechanism::Phased);
+        assert!(!parallel_supported(&phased));
+        phased.mechanism = Mechanism::Base;
+        phased.avg_cpi = 1.0 / 3.0; // not on the 1/256 grid
+        assert!(!parallel_supported(&phased));
+        let mut pf = tiny_cfg(Mechanism::Base);
+        pf.prefetch = Some(prefetch::StrideConfig::default());
+        assert!(!parallel_supported(&pf));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_every_mechanism() {
+        for mech in [
+            Mechanism::Base,
+            Mechanism::Oracle,
+            Mechanism::Redhip,
+            Mechanism::Cbf,
+        ] {
+            let cfg = tiny_cfg(mech);
+            let seq = run_traces(&cfg, vec![stream(1), stream(2)]);
+            for jobs in [2, 3] {
+                let par = run_par(&cfg, &[1, 2], jobs);
+                assert_eq!(
+                    seq.to_json().pretty(),
+                    par.to_json().pretty(),
+                    "{mech:?} diverged at jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_recalibration_variant_matches() {
+        // recalib_period == 1 instantiates the exact-counting table,
+        // which consumes LLC eviction events — the weave must feed them.
+        let mut cfg = tiny_cfg(Mechanism::Redhip);
+        cfg.recalib_period = Some(1);
+        let seq = run_traces(&cfg, vec![stream(3), stream(4)]);
+        let par = run_par(&cfg, &[3, 4], 2);
+        assert_eq!(seq.to_json().pretty(), par.to_json().pretty());
+    }
+
+    #[test]
+    fn unequal_drain_traces_match_and_count_correctly() {
+        let cfg = tiny_cfg(Mechanism::Redhip);
+        let short = || -> CoreTrace {
+            Box::new((0..7_321u64).map(|i| TraceRecord::load(0x400, (i * 2897 % 9000) * 64)))
+        };
+        let seq = run_traces(&cfg, vec![short(), stream(2)]);
+        let par = run_traces_par(&cfg, vec![short(), stream(2)], &IntraOptions::with_jobs(2));
+        assert_eq!(par.refs_per_core, vec![7_321, 40_000]);
+        assert_eq!(seq.to_json().pretty(), par.to_json().pretty());
+    }
+
+    #[test]
+    fn engine_at_one_job_is_identical_too() {
+        // The commit-log entry point forces the engine even at one job;
+        // this isolates engine semantics from pool scheduling.
+        let cfg = tiny_cfg(Mechanism::Redhip);
+        let seq = run_traces(&cfg, vec![stream(5), stream(6)]);
+        let feeds: Vec<CoreFeed> = vec![
+            Box::new(IterFeed::new(stream(5))),
+            Box::new(IterFeed::new(stream(6))),
+        ];
+        let (par, log) = run_feeds_par_commitlog(&cfg, feeds, &IntraOptions::with_jobs(1));
+        assert_eq!(seq.to_json().pretty(), par.to_json().pretty());
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn conflict_rollback_replays_exactly() {
+        // Shrink the shared LLC far below the private columns: almost
+        // every LLC eviction victimizes a block still resident in some
+        // column, so the weave's conflict test trips and whole epochs
+        // replay through the sequential fallback path constantly.
+        for mech in [Mechanism::Base, Mechanism::Redhip] {
+            let mut cfg = tiny_cfg(mech);
+            cfg.platform.levels[3].capacity_bytes = 8 << 10;
+            cfg.refs_per_core = 20_000;
+            assert!(parallel_supported(&cfg));
+            let seq = run_traces(&cfg, vec![stream(9), stream(10)]);
+            let par = run_par(&cfg, &[9, 10], 2);
+            assert_eq!(
+                seq.to_json().pretty(),
+                par.to_json().pretty(),
+                "{mech:?} diverged under conflict-heavy LLC"
+            );
+        }
+    }
+
+    /// Observer capturing the core order of sequential L1 misses — the
+    /// reference order for the commit log.
+    #[derive(Default)]
+    struct MissOrder(Vec<usize>);
+    impl telemetry::SimObserver for MissOrder {
+        fn on_level_access(&mut self, core: usize, level: u8, hit: bool) {
+            if level == 0 && !hit {
+                self.0.push(core);
+            }
+        }
+    }
+
+    #[test]
+    fn commit_log_is_the_sequential_miss_order() {
+        let cfg = tiny_cfg(Mechanism::Redhip);
+        let feeds = |a: u64, b: u64| -> Vec<CoreFeed> {
+            vec![
+                Box::new(IterFeed::new(stream(a))),
+                Box::new(IterFeed::new(stream(b))),
+            ]
+        };
+        let (_, obs) = run_feeds_with(&cfg, feeds(7, 8), MissOrder::default());
+        let (_, log) = run_feeds_par_commitlog(&cfg, feeds(7, 8), &IntraOptions::with_jobs(2));
+        let par_order: Vec<usize> = log.iter().map(|&(_, c)| c).collect();
+        assert_eq!(obs.0, par_order, "weave commit order diverged");
+        // And the log is lexicographically sorted by (clock, core).
+        assert!(log.windows(2).all(|w| w[0] <= w[1]), "commit log unsorted");
+    }
+}

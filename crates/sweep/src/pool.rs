@@ -1,389 +1,6 @@
-//! In-tree work-stealing worker pool.
-//!
-//! crossbeam was vendored out in PR 1, so the pool is built from std
-//! atomics alone: one fixed-capacity Chase–Lev deque per worker plus a
-//! global injector for work submitted mid-run. The whole job graph of a
-//! sweep is known up front, so every deque is pre-sized to the full job
-//! count and never reallocates — which is exactly the condition under
-//! which the classic Chase–Lev algorithm is safe without epoch-based
-//! memory reclamation (elements are plain `usize` job indices held in
-//! `AtomicUsize` slots; a torn ABA ring-swap cannot occur because the
-//! ring never moves).
+//! Re-export shim: the worker pool moved to the standalone `pool` crate so
+//! the simulator's intra-run parallel scheduler (`sim::parallel`) can share
+//! it without a dependency cycle (`sweep` depends on `sim`). Every
+//! historical `sweep::pool::*` path keeps working through this module.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
-
-/// A job panicked (or the pool could not run); the sweep fails cleanly
-/// instead of hanging on a poisoned barrier.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PoolError {
-    /// Stringified payload of the first panic observed.
-    pub message: String,
-}
-
-impl std::fmt::Display for PoolError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "worker job panicked: {}", self.message)
-    }
-}
-
-impl std::error::Error for PoolError {}
-
-/// Fixed-capacity Chase–Lev work-stealing deque of job indices.
-///
-/// The owner pushes and pops at the bottom (LIFO — the highest-priority
-/// job it was seeded with comes back first); thieves steal from the top.
-struct Deque {
-    top: AtomicIsize,
-    bottom: AtomicIsize,
-    buf: Box<[AtomicUsize]>,
-    mask: usize,
-}
-
-impl Deque {
-    fn new(capacity: usize) -> Self {
-        let cap = capacity.max(1).next_power_of_two();
-        Self {
-            top: AtomicIsize::new(0),
-            bottom: AtomicIsize::new(0),
-            buf: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
-            mask: cap - 1,
-        }
-    }
-
-    /// Owner-side push. Capacity is never exceeded because the deque is
-    /// pre-sized to the whole job graph.
-    fn push(&self, job: usize) {
-        let b = self.bottom.load(Ordering::Relaxed);
-        let t = self.top.load(Ordering::Acquire);
-        debug_assert!((b - t) as usize <= self.mask, "deque overflow");
-        self.buf[b as usize & self.mask].store(job, Ordering::Relaxed);
-        fence(Ordering::Release);
-        self.bottom.store(b + 1, Ordering::Relaxed);
-    }
-
-    /// Owner-side pop (LIFO end).
-    fn pop(&self) -> Option<usize> {
-        let b = self.bottom.load(Ordering::Relaxed) - 1;
-        self.bottom.store(b, Ordering::Relaxed);
-        fence(Ordering::SeqCst);
-        let t = self.top.load(Ordering::Relaxed);
-        if t <= b {
-            let job = self.buf[b as usize & self.mask].load(Ordering::Relaxed);
-            if t == b {
-                // Last element: race against thieves for it.
-                let won = self
-                    .top
-                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-                    .is_ok();
-                self.bottom.store(b + 1, Ordering::Relaxed);
-                won.then_some(job)
-            } else {
-                Some(job)
-            }
-        } else {
-            self.bottom.store(b + 1, Ordering::Relaxed);
-            None
-        }
-    }
-
-    /// Thief-side steal (FIFO end). `None` covers both "empty" and "lost
-    /// the race"; callers simply move on to the next victim.
-    fn steal(&self) -> Option<usize> {
-        let t = self.top.load(Ordering::Acquire);
-        fence(Ordering::SeqCst);
-        let b = self.bottom.load(Ordering::Acquire);
-        if t < b {
-            let job = self.buf[t as usize & self.mask].load(Ordering::Relaxed);
-            self.top
-                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-                .is_ok()
-                .then_some(job)
-        } else {
-            None
-        }
-    }
-}
-
-/// Global FIFO injector for jobs submitted while the pool is running
-/// (none of the current sweeps spawn mid-run work, but the sweep server
-/// will; the pool drains it between the local deque and stealing).
-struct Injector {
-    queue: Mutex<std::collections::VecDeque<usize>>,
-}
-
-impl Injector {
-    fn new() -> Self {
-        Self {
-            queue: Mutex::new(std::collections::VecDeque::new()),
-        }
-    }
-
-    fn pop(&self) -> Option<usize> {
-        self.queue.lock().expect("injector poisoned").pop_front()
-    }
-}
-
-struct Shared<'a> {
-    deques: Vec<Deque>,
-    injector: Injector,
-    /// Jobs submitted but not yet completed; workers exit at zero.
-    pending: AtomicUsize,
-    /// Completed jobs, for the caller's progress reporting.
-    ticks: &'a AtomicU64,
-    /// First panic wins; everyone else shuts down.
-    abort: AtomicBool,
-    panic_msg: Mutex<Option<String>>,
-}
-
-impl Shared<'_> {
-    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
-        let msg = payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_string());
-        let mut slot = self.panic_msg.lock().expect("panic slot poisoned");
-        if slot.is_none() {
-            *slot = Some(msg);
-        }
-        self.abort.store(true, Ordering::Release);
-    }
-
-    /// Next job for worker `me`: local deque, then the injector, then a
-    /// round-robin steal sweep over every other worker.
-    fn find_job(&self, me: usize) -> Option<usize> {
-        if let Some(j) = self.deques[me].pop() {
-            return Some(j);
-        }
-        if let Some(j) = self.injector.pop() {
-            return Some(j);
-        }
-        let n = self.deques.len();
-        for k in 1..n {
-            if let Some(j) = self.deques[(me + k) % n].steal() {
-                return Some(j);
-            }
-        }
-        None
-    }
-}
-
-fn worker_loop<F: Fn(usize) + Sync>(shared: &Shared<'_>, me: usize, job: &F) {
-    let mut idle_spins = 0u32;
-    loop {
-        if shared.abort.load(Ordering::Acquire) {
-            break;
-        }
-        match shared.find_job(me) {
-            Some(i) => {
-                idle_spins = 0;
-                let outcome = catch_unwind(AssertUnwindSafe(|| job(i)));
-                shared.ticks.fetch_add(1, Ordering::Relaxed);
-                shared.pending.fetch_sub(1, Ordering::AcqRel);
-                if let Err(payload) = outcome {
-                    shared.record_panic(payload);
-                    break;
-                }
-            }
-            None => {
-                if shared.pending.load(Ordering::Acquire) == 0 {
-                    break;
-                }
-                // Someone is still running the tail jobs; nothing to start.
-                idle_spins += 1;
-                if idle_spins < 64 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-            }
-        }
-    }
-}
-
-/// Runs the job indices in `order` (highest priority first) across
-/// `workers` OS threads with work stealing.
-///
-/// Jobs are seeded round-robin across the per-worker deques so every
-/// worker starts on one of the most expensive jobs; imbalance drains via
-/// stealing. `job(i)` is invoked exactly once per index (unless a job
-/// panics, in which case unstarted work is abandoned and the first panic
-/// is returned as the error — the pool never hangs). `ticks` counts
-/// completed jobs and `progress` is invoked with its running value about
-/// every 100 ms from the calling thread, which blocks until the pool
-/// drains.
-pub fn run_ordered<F>(
-    workers: usize,
-    order: &[usize],
-    ticks: &AtomicU64,
-    mut progress: impl FnMut(u64),
-    job: F,
-) -> Result<(), PoolError>
-where
-    F: Fn(usize) + Sync,
-{
-    if order.is_empty() {
-        return Ok(());
-    }
-    let workers = workers.clamp(1, order.len());
-    let shared = Shared {
-        deques: (0..workers).map(|_| Deque::new(order.len())).collect(),
-        injector: Injector::new(),
-        pending: AtomicUsize::new(order.len()),
-        ticks,
-        abort: AtomicBool::new(false),
-        panic_msg: Mutex::new(None),
-    };
-    // Seed round-robin, striped in reverse so each owner pops its
-    // highest-priority job first (the owner end is LIFO).
-    for (k, &i) in order.iter().enumerate().rev() {
-        shared.deques[k % workers].push(i);
-    }
-    std::thread::scope(|s| {
-        for w in 0..workers {
-            let shared = &shared;
-            let job = &job;
-            s.spawn(move || worker_loop(shared, w, job));
-        }
-        // The calling thread is the telemetry drain until the pool empties.
-        // The poll interval backs off so short batches return promptly and
-        // long sweeps cost one wakeup per 100 ms.
-        let mut poll_ms = 1u64;
-        while shared.pending.load(Ordering::Acquire) > 0 && !shared.abort.load(Ordering::Acquire) {
-            std::thread::sleep(Duration::from_millis(poll_ms));
-            poll_ms = (poll_ms * 2).min(100);
-            progress(ticks.load(Ordering::Relaxed));
-        }
-    });
-    progress(ticks.load(Ordering::Relaxed));
-    match shared.panic_msg.into_inner().expect("panic slot poisoned") {
-        Some(message) => Err(PoolError { message }),
-        None => Ok(()),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::AtomicU64;
-
-    fn run_square_jobs(workers: usize, n: usize) -> Vec<u64> {
-        let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-        let ticks = AtomicU64::new(0);
-        let order: Vec<usize> = (0..n).collect();
-        run_ordered(
-            workers,
-            &order,
-            &ticks,
-            |_| {},
-            |i| {
-                slots[i].store((i * i) as u64 + 1, Ordering::Relaxed);
-            },
-        )
-        .expect("no panics");
-        assert_eq!(ticks.load(Ordering::Relaxed), n as u64);
-        slots.into_iter().map(|s| s.into_inner()).collect()
-    }
-
-    #[test]
-    fn every_job_runs_exactly_once_single_worker() {
-        let out = run_square_jobs(1, 37);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, (i * i) as u64 + 1);
-        }
-    }
-
-    #[test]
-    fn every_job_runs_exactly_once_many_workers() {
-        let out = run_square_jobs(8, 203);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, (i * i) as u64 + 1);
-        }
-    }
-
-    #[test]
-    fn workers_clamped_to_job_count() {
-        let out = run_square_jobs(64, 3);
-        assert_eq!(out.len(), 3);
-    }
-
-    #[test]
-    fn empty_order_is_a_noop() {
-        let ticks = AtomicU64::new(0);
-        run_ordered(4, &[], &ticks, |_| {}, |_| panic!("never called")).unwrap();
-    }
-
-    #[test]
-    fn panicking_job_fails_cleanly_instead_of_hanging() {
-        let ticks = AtomicU64::new(0);
-        let order: Vec<usize> = (0..100).collect();
-        let err = run_ordered(
-            4,
-            &order,
-            &ticks,
-            |_| {},
-            |i| {
-                if i == 17 {
-                    panic!("job 17 exploded");
-                }
-            },
-        )
-        .expect_err("must propagate the panic");
-        assert!(err.message.contains("job 17 exploded"), "{err}");
-    }
-
-    #[test]
-    fn steal_balances_a_skewed_seed() {
-        // One enormous job index range seeded mostly onto worker 0; the
-        // others must steal to finish. Completion of all jobs proves the
-        // steal path executes (with 2+ workers and 1000 jobs, worker 1
-        // starts with half the graph but both drain everything).
-        let n = 1000;
-        let done: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-        let ticks = AtomicU64::new(0);
-        let order: Vec<usize> = (0..n).collect();
-        run_ordered(
-            4,
-            &order,
-            &ticks,
-            |_| {},
-            |i| {
-                done[i].fetch_add(1, Ordering::Relaxed);
-            },
-        )
-        .unwrap();
-        for (i, d) in done.iter().enumerate() {
-            assert_eq!(
-                d.load(Ordering::Relaxed),
-                1,
-                "job {i} ran wrong number of times"
-            );
-        }
-    }
-
-    #[test]
-    fn progress_reports_final_count() {
-        let ticks = AtomicU64::new(0);
-        let order: Vec<usize> = (0..10).collect();
-        let mut last = 0;
-        run_ordered(2, &order, &ticks, |t| last = t, |_| {}).unwrap();
-        assert_eq!(last, 10);
-    }
-
-    #[test]
-    fn deque_pop_and_steal_agree_on_singleton() {
-        let d = Deque::new(8);
-        d.push(42);
-        // Either side may win a singleton, but never both.
-        assert_eq!(d.pop(), Some(42));
-        assert_eq!(d.pop(), None);
-        assert_eq!(d.steal(), None);
-        d.push(7);
-        assert_eq!(d.steal(), Some(7));
-        assert_eq!(d.steal(), None);
-        assert_eq!(d.pop(), None);
-    }
-}
+pub use ::pool::{run_ordered, PoolError};
