@@ -201,6 +201,50 @@ pub fn measure(opts: &BenchOptions) -> Json {
         })
     };
 
+    // Observability aggregate (PR 9+): the parallel engine's observer
+    // replay path (collector attached, commit-log events replayed in
+    // sequential weave order) and the same run with the metrics registry
+    // recording. Both should track par@4 closely; a gap is the overhead
+    // this PR's acceptance criteria bound.
+    let metrics_section = {
+        let cfg = config(Mechanism::Redhip, opts.refs_per_core);
+        let io = sim::IntraOptions::with_jobs(4);
+        let levels = cfg.platform.levels.len();
+        let mut best_replay = f64::INFINITY;
+        for _ in 0..opts.samples.max(1) {
+            let traces: Vec<CoreTrace> = (0..cores)
+                .map(|c| opts.benchmark.trace(c, Scale::Smoke))
+                .collect();
+            let obs = telemetry::WindowedCollector::new(1_000, levels);
+            let start = Instant::now();
+            let (r, _) = sim::run_traces_par_with(&cfg, traces, &io, obs);
+            let took = start.elapsed().as_secs_f64();
+            assert_eq!(r.total_refs(), total_refs, "replay run was truncated");
+            best_replay = best_replay.min(took);
+        }
+        let was_enabled = metrics::enabled();
+        metrics::enable();
+        let mut best_registry = f64::INFINITY;
+        for _ in 0..opts.samples.max(1) {
+            let traces: Vec<CoreTrace> = (0..cores)
+                .map(|c| opts.benchmark.trace(c, Scale::Smoke))
+                .collect();
+            let start = Instant::now();
+            let r = sim::run_traces_par(&cfg, traces, &io);
+            let took = start.elapsed().as_secs_f64();
+            assert_eq!(r.total_refs(), total_refs, "registry run was truncated");
+            best_registry = best_registry.min(took);
+        }
+        if !was_enabled {
+            metrics::disable();
+        }
+        json!({
+            "intra_jobs": 4u64,
+            "observer_replay_refs_per_sec": total_refs as f64 / best_replay,
+            "registry_refs_per_sec": total_refs as f64 / best_registry,
+        })
+    };
+
     json!({
         "schema": SCHEMA,
         "benchmark": opts.benchmark.to_string(),
@@ -219,7 +263,13 @@ pub fn measure(opts: &BenchOptions) -> Json {
         }),
         "trace": trace,
         "parallel": parallel,
+        "metrics": metrics_section,
     })
+}
+
+/// A metric from the observability section, if recorded (PR 9+).
+fn metrics_metric(doc: &Json, key: &str) -> Option<f64> {
+    doc.get("metrics")?.f64_of(key).ok()
 }
 
 /// The intra-run scaling points of a snapshot, if recorded (PR 8+):
@@ -292,6 +342,12 @@ pub fn render(doc: &Json) -> String {
             let _ = writeln!(out, "{label:<10} {rps:>14.0}  ({host} host core(s))");
         }
     }
+    if let Some(rps) = metrics_metric(doc, "observer_replay_refs_per_sec") {
+        let _ = writeln!(out, "{:<10} {rps:>14.0}", "obs-replay");
+    }
+    if let Some(rps) = metrics_metric(doc, "registry_refs_per_sec") {
+        let _ = writeln!(out, "{:<10} {rps:>14.0}", "registry");
+    }
     out
 }
 
@@ -337,6 +393,21 @@ pub fn compare(old: &Json, new: &Json) -> String {
         ("replay", "replay_refs_per_sec"),
     ] {
         match (trace_metric(old, key), trace_metric(new, key)) {
+            (Some(a), Some(b)) => {
+                let _ = writeln!(out, "{label:<10} {a:>14.0} {b:>14.0} {:>7.2}x", b / a);
+            }
+            (None, Some(b)) => {
+                let _ = writeln!(out, "{label:<10} {:>14} {b:>14.0}", "-");
+            }
+            _ => {}
+        }
+    }
+    // Observability rows likewise (absent from pre-PR9 snapshots).
+    for (label, key) in [
+        ("obs-replay", "observer_replay_refs_per_sec"),
+        ("registry", "registry_refs_per_sec"),
+    ] {
+        match (metrics_metric(old, key), metrics_metric(new, key)) {
             (Some(a), Some(b)) => {
                 let _ = writeln!(out, "{label:<10} {a:>14.0} {b:>14.0} {:>7.2}x", b / a);
             }
@@ -448,6 +519,31 @@ mod tests {
         let table = compare(&old, &new);
         assert!(table.contains("geomean speedup: 1.00x"), "{table}");
         assert!(table.contains("par@8"), "{table}");
+    }
+
+    #[test]
+    fn snapshot_records_observability_aggregate() {
+        let doc = tiny();
+        let replay = metrics_metric(&doc, "observer_replay_refs_per_sec").expect("metrics section");
+        let registry = metrics_metric(&doc, "registry_refs_per_sec").expect("metrics section");
+        assert!(replay > 0.0 && registry > 0.0);
+        let table = render(&doc);
+        assert!(
+            table.contains("obs-replay") && table.contains("registry"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn compare_tolerates_missing_metrics_section() {
+        let new = tiny();
+        // A pre-PR9 snapshot: same document minus the metrics section.
+        let mut old = new.clone();
+        old.set("metrics", Json::Null);
+        let table = compare(&old, &new);
+        assert!(table.contains("geomean speedup: 1.00x"), "{table}");
+        assert!(table.contains("obs-replay"), "{table}");
+        assert!(table.contains("registry"), "{table}");
     }
 
     #[test]

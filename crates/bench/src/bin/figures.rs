@@ -3,6 +3,7 @@
 //! ```text
 //! figures [TARGETS...] [--scale smoke|demo|paper] [--refs N] [--out DIR]
 //!         [--jobs N] [--intra-jobs N] [--cache] [--cache-dir DIR]
+//!         [--metrics[=FILE]]
 //!
 //! TARGETS: all (default) | table1 | fig1 | fig6..fig15 | core (fig6-10)
 //!          | sweeps (fig11-13) | prefetch (fig14-15) | ablations
@@ -34,7 +35,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures [all|core|sweeps|prefetch|ablations|table1|fig1|fig6..fig15]... \
          [--scale smoke|demo|paper] [--refs N] [--out DIR] [--jobs N] [--intra-jobs N] \
-         [--cache] [--cache-dir DIR]"
+         [--cache] [--cache-dir DIR] [--metrics[=FILE]]"
     );
     std::process::exit(2);
 }
@@ -47,6 +48,9 @@ struct Args {
     jobs: Option<usize>,
     intra_jobs: usize,
     cache_dir: Option<PathBuf>,
+    /// Where to write the `redhip-metrics/v1` snapshot; `None` leaves the
+    /// registry disabled.
+    metrics: Option<PathBuf>,
 }
 
 impl Args {
@@ -66,6 +70,8 @@ fn parse_args() -> Args {
     let mut intra_jobs = 1usize;
     let mut cache = false;
     let mut cache_dir = None;
+    // None = disabled, Some(None) = default path (<out>/metrics.jsonl).
+    let mut metrics: Option<Option<PathBuf>> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -99,6 +105,14 @@ fn parse_args() -> Args {
             "--cache-dir" => {
                 cache_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
             }
+            "--metrics" => metrics = Some(None),
+            t if t.starts_with("--metrics=") => {
+                let p = &t["--metrics=".len()..];
+                if p.is_empty() {
+                    usage();
+                }
+                metrics = Some(Some(PathBuf::from(p)));
+            }
             "--help" | "-h" => usage(),
             t if t.starts_with('-') => usage(),
             t => {
@@ -121,6 +135,7 @@ fn parse_args() -> Args {
     if cache && cache_dir.is_none() {
         cache_dir = Some(out.join("cache"));
     }
+    let metrics = metrics.map(|p| p.unwrap_or_else(|| out.join("metrics.jsonl")));
     Args {
         targets,
         scale,
@@ -129,6 +144,7 @@ fn parse_args() -> Args {
         jobs,
         intra_jobs,
         cache_dir,
+        metrics,
     }
 }
 
@@ -136,7 +152,7 @@ fn wants(args: &Args, name: &str, group: &str) -> bool {
     args.targets.contains("all") || args.targets.contains(name) || args.targets.contains(group)
 }
 
-fn emit(args: &Args, f: &FigureOutput) {
+fn emit(args: &Args, manifest: &metrics::RunManifest, f: &FigureOutput) {
     println!("{}", f.text);
     std::fs::create_dir_all(&args.out).expect("create results dir");
     let mut log = std::fs::OpenOptions::new()
@@ -146,10 +162,46 @@ fn emit(args: &Args, f: &FigureOutput) {
         .expect("open figures.log");
     writeln!(log, "{}", f.text).expect("append figures.log");
     let path = args.out.join(format!("{}.json", f.name));
+    // Object-shaped figures carry the run manifest (deterministic identity
+    // fields only: results directories are byte-compared across --jobs);
+    // array-shaped ones (fig1's static data) are written as-is.
+    let doc = match &f.json {
+        minijson::Json::Obj(_) => {
+            let mut d = f.json.clone();
+            d.set("manifest", manifest.to_json());
+            d
+        }
+        other => other.clone(),
+    };
     let mut file = std::fs::File::create(&path).expect("create json");
-    file.write_all(f.json.pretty().as_bytes())
-        .expect("write json");
+    file.write_all(doc.pretty().as_bytes()).expect("write json");
     eprintln!("[figures] wrote {}", path.display());
+}
+
+/// The figure-set run manifest: one deterministic identity record for the
+/// whole invocation (per-cell manifests live in the result cache entries).
+fn run_manifest(args: &Args, settings: &Settings, plan: &SweepPlan) -> metrics::RunManifest {
+    let targets: Vec<&str> = args.targets.iter().map(String::as_str).collect();
+    let workload = format!("figures:{}", targets.join("+"));
+    // Fold the planned cells' content hashes in plan order, so the hash
+    // pins exactly what this invocation simulates.
+    let config_hash = plan
+        .cells()
+        .iter()
+        .fold(sweep::cell::fnv1a64(workload.as_bytes()), |h, c| {
+            h.rotate_left(7) ^ c.content_hash()
+        });
+    metrics::RunManifest {
+        mechanism: "sweep".to_string(),
+        workload,
+        seed: format!("synth(core,{:?}):refs={}", args.scale, settings.refs),
+        config_hash,
+        sequential_fallback: args.intra_jobs > 1
+            && plan
+                .cells()
+                .iter()
+                .any(|c| !sim::parallel_supported(&c.cfg)),
+    }
 }
 
 fn main() {
@@ -169,29 +221,13 @@ fn main() {
         args.targets
     );
     let t0 = std::time::Instant::now();
-
-    if wants(&args, "table1", "core") {
-        emit(&args, &figures::table1(args.scale));
-    }
-    if wants(&args, "fig1", "core") {
-        emit(
-            &args,
-            &FigureOutput {
-                name: "fig1",
-                title: "Cache sizes by year".into(),
-                text: figdata::render_figure1(),
-                json: minijson::Json::Arr(
-                    figdata::FIGURE1
-                        .iter()
-                        .map(|p| minijson::json!({"year": p.year, "level": p.level, "kb": p.kb}))
-                        .collect(),
-                ),
-            },
-        );
+    if args.metrics.is_some() {
+        metrics::enable();
     }
 
     // Phase 1: enumerate every requested figure's cells into one plan.
     // Cells shared across figures dedupe here and are simulated once.
+    let plan_span = metrics::PHASE_PLAN.start();
     let mut plan = SweepPlan::new();
     let need_matrix = ["fig6", "fig7", "fig8", "fig9", "fig10"]
         .iter()
@@ -209,6 +245,29 @@ fn main() {
         s
     };
     let ablation_plan = want_ablations.then(|| ablate::plan_all(&ablation_settings, &mut plan));
+    drop(plan_span);
+    let manifest = run_manifest(&args, &settings, &plan);
+
+    if wants(&args, "table1", "core") {
+        emit(&args, &manifest, &figures::table1(args.scale));
+    }
+    if wants(&args, "fig1", "core") {
+        emit(
+            &args,
+            &manifest,
+            &FigureOutput {
+                name: "fig1",
+                title: "Cache sizes by year".into(),
+                text: figdata::render_figure1(),
+                json: minijson::Json::Arr(
+                    figdata::FIGURE1
+                        .iter()
+                        .map(|p| minijson::json!({"year": p.year, "level": p.level, "kb": p.kb}))
+                        .collect(),
+                ),
+            },
+        );
+    }
 
     // Phase 2: one engine, one run over the whole deduplicated job graph.
     let mut engine = SweepEngine::new(jobs).with_intra_jobs(args.intra_jobs);
@@ -230,47 +289,60 @@ fn main() {
     };
 
     // Phase 3: render and emit in report order.
+    let render_span = metrics::PHASE_RENDER.start();
     if let Some(mp) = &matrix_plan {
         let m = figures::matrix_from(&settings, mp, &res);
         if wants(&args, "fig6", "core") {
-            emit(&args, &figures::fig6(&m));
+            emit(&args, &manifest, &figures::fig6(&m));
         }
         if wants(&args, "fig7", "core") {
-            emit(&args, &figures::fig7(&m));
+            emit(&args, &manifest, &figures::fig7(&m));
         }
         if wants(&args, "fig8", "core") {
-            emit(&args, &figures::fig8(&m));
+            emit(&args, &manifest, &figures::fig8(&m));
         }
         if wants(&args, "fig9", "core") {
-            emit(&args, &figures::fig9(&m));
+            emit(&args, &manifest, &figures::fig9(&m));
         }
         if wants(&args, "fig10", "core") {
-            emit(&args, &figures::fig10(&m));
+            emit(&args, &manifest, &figures::fig10(&m));
         }
     }
     if let Some(p) = &p11 {
-        emit(&args, &figures::fig11_from(&settings, p, &res));
+        emit(&args, &manifest, &figures::fig11_from(&settings, p, &res));
     }
     if let Some(p) = &p12 {
-        emit(&args, &figures::fig12_from(&settings, p, &res));
+        emit(&args, &manifest, &figures::fig12_from(&settings, p, &res));
     }
     if let Some(p) = &p13 {
-        emit(&args, &figures::fig13_from(&settings, p, &res));
+        emit(&args, &manifest, &figures::fig13_from(&settings, p, &res));
     }
     if let Some(p) = &p1415 {
         let (f14, f15) = figures::fig14_15_from(&settings, p, &res);
         if wants(&args, "fig14", "prefetch") {
-            emit(&args, &f14);
+            emit(&args, &manifest, &f14);
         }
         if wants(&args, "fig15", "prefetch") {
-            emit(&args, &f15);
+            emit(&args, &manifest, &f15);
         }
     }
     if let Some(p) = &ablation_plan {
         for f in ablate::all_from(&ablation_settings, p, &res) {
-            emit(&args, &f);
+            emit(&args, &manifest, &f);
         }
     }
+    drop(render_span);
     eprintln!("[figures] {}", res.stats.summary());
     eprintln!("[figures] done in {:?}", t0.elapsed());
+
+    if let Some(path) = &args.metrics {
+        let mut out = metrics::snapshot_jsonl();
+        out.push_str(&manifest.to_json_with_phases().dump());
+        out.push('\n');
+        std::fs::write(path, out).expect("write metrics");
+        eprintln!(
+            "[figures] wrote {} (metrics snapshot + run manifest)",
+            path.display()
+        );
+    }
 }

@@ -14,13 +14,24 @@
 //!   --prefetch           enable the stride prefetcher
 //!   --intra-jobs N       worker threads *inside* the run (deterministic
 //!                        bound-weave engine; results are byte-identical
-//!                        at every N; default 1 = sequential scheduler)
+//!                        at every N; default 1 = sequential scheduler).
+//!                        Configurations outside the engine's envelope
+//!                        (non-grid CPIs, prefetch) run sequentially with
+//!                        a stderr note, and the run manifest records
+//!                        `sequential_fallback: true`.
 //!   --compare            also run Base and print the comparison
 //!   --json FILE          write the RunResult as JSON
 //!   --telemetry FILE     write windowed time-series telemetry as JSONL
-//!                        (window samples + recalibration markers)
+//!                        (window samples + recalibration markers); works
+//!                        at any --intra-jobs — the parallel engine
+//!                        replays observer events in exact sequential
+//!                        order, so the JSONL is byte-identical at every N
 //!   --window N           telemetry window width in refs per core
 //!                        (default 100000)
+//!   --metrics[=FILE]     enable the process metrics registry and write a
+//!                        redhip-metrics/v1 snapshot plus the run manifest
+//!                        (with phase timings) as JSONL (default
+//!                        metrics.jsonl)
 //!   --quiet              suppress the stderr heartbeat
 //!
 //! Bench-baseline mode (see EXPERIMENTS.md "Recording a bench baseline"):
@@ -46,7 +57,8 @@
 //! ```
 
 use bench::harness::{
-    mechanism_config, run_workload, run_workload_par, run_workload_with, FigureScale,
+    mechanism_config, run_workload, run_workload_par, run_workload_par_with, run_workload_with,
+    FigureScale,
 };
 use cache_sim::InclusionPolicy;
 use minijson::ToJson;
@@ -82,6 +94,7 @@ fn main() {
     let mut compare = false;
     let mut json_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut window: u64 = 100_000;
     let mut quiet = false;
     let mut bench_json: Option<String> = None;
@@ -157,6 +170,14 @@ fn main() {
             "--compare" => compare = true,
             "--json" => json_path = Some(next("--json")),
             "--telemetry" => telemetry_path = Some(next("--telemetry")),
+            "--metrics" => metrics_path = Some("metrics.jsonl".to_string()),
+            other if other.starts_with("--metrics=") => {
+                let p = &other["--metrics=".len()..];
+                if p.is_empty() {
+                    usage("--metrics= needs a path");
+                }
+                metrics_path = Some(p.to_string());
+            }
             "--window" => {
                 window = next("--window")
                     .parse()
@@ -201,6 +222,11 @@ fn main() {
             other => usage(&format!("unknown argument {other}")),
         }
     }
+    // Enable before any simulation so phase timers cover the whole run.
+    if metrics_path.is_some() {
+        metrics::enable();
+    }
+
     if let Some((old_path, new_path)) = bench_compare {
         let load = |p: &str| {
             let text = std::fs::read_to_string(p)
@@ -260,11 +286,16 @@ fn main() {
         HeartbeatObserver::new(if quiet { h.silent() } else { h })
     };
 
+    // True when --intra-jobs > 1 was requested but the configuration is
+    // outside the parallel envelope; recorded in the run manifest.
+    let mut sequential_fallback = false;
+
+    // The whole run counts as the simulate phase (weave/redo/merge nest
+    // inside it when the parallel engine runs).
+    let sim_span = metrics::PHASE_SIMULATE.start();
+
     // Telemetry wants a collector; the heartbeat rides along either way.
     let result: RunResult = if intra_jobs > 1 {
-        if telemetry_path.is_some() {
-            usage("--telemetry needs the sequential scheduler (--intra-jobs 1): the parallel engine has no observer hooks");
-        }
         // The envelope must be judged on the config the run actually uses:
         // run_workload_par stamps the benchmark's CPI before simulating.
         let stamped = {
@@ -273,27 +304,48 @@ fn main() {
             c
         };
         if !sim::parallel_supported(&stamped) {
+            sequential_fallback = true;
             eprintln!(
                 "[redhip-sim] note: configuration outside the parallel envelope; running sequentially"
             );
         }
-        let hb = std::cell::RefCell::new({
-            let h = Heartbeat::new("[redhip-sim]", "refs", total_refs);
-            if quiet {
-                h.silent()
-            } else {
-                h
-            }
-        });
-        let progress = |done: u64| hb.borrow_mut().set_done(done);
-        let opts = sim::IntraOptions {
-            jobs: intra_jobs,
-            progress: Some(&progress),
-            ..Default::default()
-        };
-        let r = run_workload_par(&cfg, benchmark, scale, &opts);
-        hb.borrow_mut().finish();
-        r
+        if let Some(path) = &telemetry_path {
+            // The parallel engine replays observer events in exact
+            // sequential weave order, so the collector (and heartbeat)
+            // see the same stream as --intra-jobs 1.
+            let opts = sim::IntraOptions {
+                jobs: intra_jobs,
+                ..Default::default()
+            };
+            let collector = WindowedCollector::new(window, cfg.platform.levels.len());
+            let obs = Tee::new(collector, heartbeat());
+            let (result, obs) = run_workload_par_with(&cfg, benchmark, scale, &opts, obs);
+            std::fs::write(path, obs.a.to_jsonl()).expect("write telemetry");
+            eprintln!(
+                "[redhip-sim] wrote {path} ({} windows, {} recalibration markers)",
+                obs.a.windows().count(),
+                obs.a.recalibrations().count()
+            );
+            result
+        } else {
+            let hb = std::cell::RefCell::new({
+                let h = Heartbeat::new("[redhip-sim]", "refs", total_refs);
+                if quiet {
+                    h.silent()
+                } else {
+                    h
+                }
+            });
+            let progress = |done: u64| hb.borrow_mut().set_done(done);
+            let opts = sim::IntraOptions {
+                jobs: intra_jobs,
+                progress: Some(&progress),
+                ..Default::default()
+            };
+            let r = run_workload_par(&cfg, benchmark, scale, &opts);
+            hb.borrow_mut().finish();
+            r
+        }
     } else if let Some(path) = &telemetry_path {
         let collector = WindowedCollector::new(window, cfg.platform.levels.len());
         let obs = Tee::new(collector, heartbeat());
@@ -310,6 +362,8 @@ fn main() {
     } else {
         run_workload_with(&cfg, benchmark, scale, heartbeat()).0
     };
+
+    drop(sim_span);
 
     println!("=== {} under {} ===", benchmark, mechanism.name());
     print!("{}", sim::report::render(&result));
@@ -330,5 +384,19 @@ fn main() {
     if let Some(path) = json_path {
         std::fs::write(&path, result.to_json().pretty()).expect("write json");
         eprintln!("[redhip-sim] wrote {path}");
+    }
+
+    if let Some(path) = metrics_path {
+        // The run manifest reuses the sweep cell's canonical identity for
+        // this (config x benchmark x scale), overriding the fallback flag
+        // with what this invocation actually did (the cell derives it from
+        // the envelope alone, not from whether parallelism was requested).
+        let mut manifest = sweep::CellSpec::new(&cfg, benchmark, scale.workload_scale()).manifest();
+        manifest.sequential_fallback = sequential_fallback;
+        let mut out = metrics::snapshot_jsonl();
+        out.push_str(&manifest.to_json_with_phases().dump());
+        out.push('\n');
+        std::fs::write(&path, out).expect("write metrics");
+        eprintln!("[redhip-sim] wrote {path} (metrics snapshot + run manifest)");
     }
 }

@@ -99,6 +99,27 @@ pub fn run_workload_par(
     sim::run_traces_par(&cfg, traces, opts)
 }
 
+/// Like [`run_workload_par`], but reports telemetry to `obs` while
+/// running: the bound–weave engine buffers observer events in the commit
+/// log and replays them in exact sequential `(clock, core)` weave order,
+/// so collector output is byte-identical to [`run_workload_with`] at
+/// every thread count.
+pub fn run_workload_par_with<O: SimObserver>(
+    cfg: &SimConfig,
+    benchmark: Benchmark,
+    scale: FigureScale,
+    opts: &sim::IntraOptions,
+    obs: O,
+) -> (RunResult, O) {
+    let mut cfg = cfg.clone();
+    cfg.avg_cpi = benchmark.avg_cpi();
+    let ws = scale.workload_scale();
+    let traces = (0..cfg.platform.cores)
+        .map(|core| benchmark.trace(core, ws))
+        .collect();
+    sim::run_traces_par_with(&cfg, traces, opts, obs)
+}
+
 /// Like [`run_workload`], but reports telemetry to `obs` while running.
 pub fn run_workload_with<O: SimObserver>(
     cfg: &SimConfig,

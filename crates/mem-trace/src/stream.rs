@@ -396,6 +396,7 @@ impl StreamTrace {
         self.decoded.clear();
         codec::decode_chunk_bytes(bytes, idx as u64, meta, &mut self.decoded)
             .unwrap_or_else(|e| panic!("trace chunk {idx} corrupt after validation: {e}"));
+        metrics::TRACE_CHUNKS_DECODED.incr();
         self.chunk = idx;
         self.base = inner.cum[idx];
         debug_assert!(g >= self.base && g < self.base + self.decoded.len() as u64);
@@ -453,6 +454,9 @@ impl TraceFeed for StreamTrace {
                 break;
             }
             if !self.resident(g) {
+                // The consumer outran the decoded window: this refill
+                // stalls on a chunk read + decode.
+                metrics::TRACE_REFILL_STALLS.incr();
                 self.load_chunk_containing(g);
             }
             let lo = (g - self.base) as usize;

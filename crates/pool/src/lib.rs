@@ -164,6 +164,7 @@ impl Shared<'_> {
         let n = self.deques.len();
         for k in 1..n {
             if let Some(j) = self.deques[(me + k) % n].steal() {
+                metrics::POOL_STEALS.incr();
                 return Some(j);
             }
         }
@@ -180,7 +181,14 @@ fn worker_loop<F: Fn(usize) + Sync>(shared: &Shared<'_>, me: usize, job: &F) {
         match shared.find_job(me) {
             Some(i) => {
                 idle_spins = 0;
+                // Depth at acquisition: how much runnable work was still
+                // outstanding when this worker picked up a job.
+                metrics::POOL_QUEUE_DEPTH.record(shared.pending.load(Ordering::Relaxed) as u64);
+                let busy = metrics::enabled().then(std::time::Instant::now);
                 let outcome = catch_unwind(AssertUnwindSafe(|| job(i)));
+                if let Some(t0) = busy {
+                    metrics::POOL_BUSY_NS.add(t0.elapsed().as_nanos() as u64);
+                }
                 shared.ticks.fetch_add(1, Ordering::Relaxed);
                 shared.pending.fetch_sub(1, Ordering::AcqRel);
                 if let Err(payload) = outcome {
@@ -194,10 +202,14 @@ fn worker_loop<F: Fn(usize) + Sync>(shared: &Shared<'_>, me: usize, job: &F) {
                 }
                 // Someone is still running the tail jobs; nothing to start.
                 idle_spins += 1;
+                let idle = metrics::enabled().then(std::time::Instant::now);
                 if idle_spins < 64 {
                     std::thread::yield_now();
                 } else {
                     std::thread::sleep(Duration::from_millis(1));
+                }
+                if let Some(t0) = idle {
+                    metrics::POOL_IDLE_NS.add(t0.elapsed().as_nanos() as u64);
                 }
             }
         }
@@ -229,6 +241,8 @@ where
         return Ok(());
     }
     let workers = workers.clamp(1, order.len());
+    metrics::POOL_WORKERS.set(workers as u64);
+    metrics::POOL_JOBS.add(order.len() as u64);
     let shared = Shared {
         deques: (0..workers).map(|_| Deque::new(order.len())).collect(),
         injector: Injector::new(),

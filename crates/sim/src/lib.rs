@@ -32,8 +32,13 @@ pub mod stats;
 pub mod system;
 
 pub use config::{AccountingOptions, CbfParams, Mechanism, SimConfig};
-pub use metrics::Comparison;
-pub use parallel::{parallel_supported, run_feeds_par, run_traces_par, IntraOptions};
+// `crate::` disambiguates the local module from the `metrics` registry
+// crate the runtime instrumentation lives in.
+pub use crate::metrics::Comparison;
+pub use parallel::{
+    parallel_supported, run_feeds_par, run_feeds_par_with, run_traces_par, run_traces_par_with,
+    IntraOptions,
+};
 pub use run::{
     run_duplicated, run_feeds, run_feeds_with, run_traces, run_traces_with, CoreFeed, CoreTrace,
     RunResult,

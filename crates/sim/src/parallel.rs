@@ -68,6 +68,26 @@
 //! Phased, prefetch, non-default accounting, fractional-grid CPI) fall
 //! back to the sequential harness — [`run_feeds_par`] is then
 //! [`crate::run::run_feeds`].
+//!
+//! # Deterministic observer replay
+//!
+//! [`run_feeds_par_with`] threads a [`SimObserver`] through the engine.
+//! Observers are stateful and order-sensitive (the windowed collector
+//! interleaves per-core window closes in global reference order), so the
+//! engine replays the *entire* sequential hook stream on the main thread
+//! during the weave: with an enabled observer the bound phase also logs
+//! L1-hit events (normally core-local and logless), the weave commits
+//! every reference in exact `(clock, core)` order, and a mirror
+//! [`EnergyAccount`] fed the same constants in the same global order
+//! reproduces each reference's `on_ref` energy delta bit for bit. Hook
+//! events buffer in commit order and flush to the real observer only at
+//! epoch snapshots — clean points a conflict rollback can never cross —
+//! so a rolled-back epoch is re-observed exactly once, by its sequential
+//! replay. The JSONL a [`telemetry::WindowedCollector`] writes is
+//! byte-identical to the sequential scheduler's at every thread count;
+//! with [`NullObserver`] all of this compiles away (`O::ENABLED` gates
+//! the extra events at monomorphization time) and the engine is the
+//! PR 5 engine unchanged.
 
 use crate::config::{AccountingOptions, Mechanism, SimConfig};
 use crate::run::{core_physical, CoreFeed, CoreTrace, RunResult};
@@ -84,6 +104,7 @@ use redhip::{
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use telemetry::{NullObserver, SimObserver};
 
 /// Clock grid: 256 sub-cycle units per cycle (`avg_cpi` must be exact on
 /// this grid for the integer clocks to mirror the sequential floats).
@@ -91,6 +112,11 @@ const GRID: u64 = 256;
 
 /// Sentinel for [`Event::hit`]: the walk missed every private level.
 const DEEP: u8 = u8::MAX;
+
+/// Sentinel for [`Event::hit`]: an L1 hit, logged only when an enabled
+/// observer needs the full sequential reference stream. Carries no shared
+/// effect: the weave emits its hooks and commits nothing.
+const L1HIT: u8 = u8::MAX - 1;
 
 /// Records pulled per feed refill (same chunking as the sequential
 /// harness; the consumed sequence is identical either way).
@@ -165,7 +191,7 @@ pub fn run_feeds_par(cfg: &SimConfig, feeds: Vec<CoreFeed>, opts: &IntraOptions)
     if opts.jobs <= 1 || !parallel_supported(cfg) {
         return crate::run::run_feeds(cfg, feeds);
     }
-    Engine::new(cfg, feeds).run(opts, None)
+    Engine::new(cfg, feeds, NullObserver).run(opts, None).0
 }
 
 /// Iterator-stream variant of [`run_feeds_par`].
@@ -178,6 +204,50 @@ pub fn run_traces_par(cfg: &SimConfig, traces: Vec<CoreTrace>, opts: &IntraOptio
         .map(|t| Box::new(IterFeed::new(t)) as CoreFeed)
         .collect();
     run_feeds_par(cfg, feeds, opts)
+}
+
+/// Like [`run_feeds_par`], but threads a [`SimObserver`] through the run.
+/// The observer sees the exact sequential hook stream — same hooks, same
+/// order, same energy deltas — at every `opts.jobs` value (see the module
+/// docs on deterministic observer replay), so e.g. a windowed collector's
+/// JSONL is byte-identical to [`crate::run::run_feeds_with`]'s. Falls
+/// back to the sequential harness when `opts.jobs <= 1` or the
+/// configuration is outside the engine's envelope.
+///
+/// # Panics
+/// Same conditions as [`run_feeds_par`].
+pub fn run_feeds_par_with<O: SimObserver>(
+    cfg: &SimConfig,
+    feeds: Vec<CoreFeed>,
+    opts: &IntraOptions,
+    obs: O,
+) -> (RunResult, O) {
+    assert_eq!(
+        feeds.len(),
+        cfg.platform.cores,
+        "need exactly one trace per core"
+    );
+    if opts.jobs <= 1 || !parallel_supported(cfg) {
+        return crate::run::run_feeds_with(cfg, feeds, obs);
+    }
+    Engine::new(cfg, feeds, obs).run(opts, None)
+}
+
+/// Iterator-stream variant of [`run_feeds_par_with`].
+///
+/// # Panics
+/// Same conditions as [`run_feeds_par`].
+pub fn run_traces_par_with<O: SimObserver>(
+    cfg: &SimConfig,
+    traces: Vec<CoreTrace>,
+    opts: &IntraOptions,
+    obs: O,
+) -> (RunResult, O) {
+    let feeds = traces
+        .into_iter()
+        .map(|t| Box::new(IterFeed::new(t)) as CoreFeed)
+        .collect();
+    run_feeds_par_with(cfg, feeds, opts, obs)
 }
 
 /// Like [`run_feeds_par`], but forces the bound–weave engine (even for
@@ -207,7 +277,7 @@ pub fn run_feeds_par_commitlog(
         "commit-log runs require the parallel envelope"
     );
     let mut log = Vec::new();
-    let result = Engine::new(cfg, feeds).run(opts, Some(&mut log));
+    let (result, _) = Engine::new(cfg, feeds, NullObserver).run(opts, Some(&mut log));
     (result, log)
 }
 
@@ -235,6 +305,17 @@ struct Consts {
     /// Recalibration charges energy + stall (overhead on, table arm).
     recalib_charge: bool,
     target: u64,
+    /// A predictor exists (everything but Base): outcome hooks fire.
+    has_pred: bool,
+    /// The predictor consumes LLC eviction events (exact table / CBF), so
+    /// an evicting fill charges two update energies, not one.
+    pred_evict_updates: bool,
+    /// Per-level parallel lookup energy — the one constant each level
+    /// accumulator receives under the envelope (observer replay only).
+    lookup_nj: Vec<f64>,
+    /// `lat_hit` / `lat_miss` in whole cycles (`on_ref` units).
+    cyc_hit: Vec<u64>,
+    cyc_miss: Vec<u64>,
 }
 
 /// Order-independent dynamic-energy event counts; the final account
@@ -378,9 +459,43 @@ struct SharedSim {
     off: Vec<u64>,
     /// Uniform recalibration stall applied to every core, grid units.
     goff: u64,
+    /// Mirror of the sequential [`EnergyAccount`], fed the same constant
+    /// additions in the same global commit order so observer energy
+    /// deltas reproduce bit for bit. Touched only when the observer is
+    /// enabled; rolls back with the rest of the shared state.
+    acc: EnergyAccount,
 }
 
-struct Engine<'a> {
+/// The reference shape the weave reconstructs hooks from: which levels
+/// were looked up, what the predictor outcome was, what was filled.
+#[derive(Clone, Copy)]
+enum RefKind {
+    /// L1 hit (fast path).
+    L1Hit,
+    /// Private walk hit at this level.
+    PrivHit(usize),
+    /// Walked, hit in the shared LLC.
+    LlcHit,
+    /// Walked, missed everywhere, filled from memory.
+    MemWalk,
+    /// Predictor said absent; filled from memory without walking.
+    Bypass,
+}
+
+/// One buffered observer hook, replayed to the real observer at epoch
+/// snapshots (commit order is the sequential hook order; a rollback
+/// discards the epoch's buffer and its sequential replay re-emits it).
+enum ObsEvent {
+    WalkHit(usize),
+    FalsePositive(usize),
+    Bypass(usize),
+    Level(usize, u8, bool),
+    Fill(usize, u8),
+    Ref(usize, u64, f64),
+    Recalib(f64, u64),
+}
+
+struct Engine<'a, O: SimObserver> {
     cfg: &'a SimConfig,
     consts: Consts,
     cores: Vec<PerCore>,
@@ -388,6 +503,9 @@ struct Engine<'a> {
     snap_cores: Vec<CoreSim>,
     snap_shared: SharedSim,
     snap_log_len: usize,
+    obs: O,
+    /// Hooks buffered since the last epoch snapshot (observer runs only).
+    obs_buf: Vec<ObsEvent>,
 }
 
 /// True when `block` may be resident anywhere in a private column — the
@@ -400,9 +518,122 @@ fn conflicts(cores: &[PerCore], block: u64) -> bool {
     })
 }
 
+/// Buffers the full sequential hook sequence of one committed reference
+/// and mirrors its energy charges into `acc`: predictor outcome first,
+/// then one `Level` per demand lookup (L1 first), one `Fill` per demand
+/// fill, then the closing `Ref` whose energy delta is computed exactly
+/// the way the sequential `step_with` computes it — as a difference of
+/// `total_dynamic_nj` across the reference. `evicted` reports whether a
+/// memory fill displaced an LLC victim (a second predictor update under
+/// the exact table / CBF). Must be called in global `(clock, core)`
+/// commit order, which is what keeps every `f64` boundary identical.
+fn emit_ref(
+    cn: &Consts,
+    acc: &mut EnergyAccount,
+    buf: &mut Vec<ObsEvent>,
+    core: usize,
+    kind: RefKind,
+    evicted: bool,
+) {
+    let before = acc.total_dynamic_nj();
+    let llc = cn.llc as usize;
+    let mut latency = 0u64;
+    match kind {
+        RefKind::L1Hit => {
+            acc.add_level(0, cn.lookup_nj[0]);
+            buf.push(ObsEvent::Level(core, 0, true));
+            latency = cn.cyc_hit[0];
+        }
+        RefKind::PrivHit(h) => {
+            if cn.has_pred {
+                buf.push(ObsEvent::WalkHit(core));
+            }
+            if cn.pred_overhead {
+                acc.add_predictor(cn.pt_access_nj);
+            }
+            for lvl in 0..h {
+                buf.push(ObsEvent::Level(core, lvl as u8, false));
+                acc.add_level(lvl, cn.lookup_nj[lvl]);
+                latency += cn.cyc_miss[lvl];
+            }
+            buf.push(ObsEvent::Level(core, h as u8, true));
+            acc.add_level(h, cn.lookup_nj[h]);
+            latency += cn.cyc_hit[h];
+            for lvl in (0..h).rev() {
+                buf.push(ObsEvent::Fill(core, lvl as u8));
+            }
+        }
+        RefKind::LlcHit => {
+            if cn.has_pred {
+                buf.push(ObsEvent::WalkHit(core));
+            }
+            if cn.pred_overhead {
+                acc.add_predictor(cn.pt_access_nj);
+            }
+            for lvl in 0..cn.priv_levels {
+                buf.push(ObsEvent::Level(core, lvl as u8, false));
+                acc.add_level(lvl, cn.lookup_nj[lvl]);
+                latency += cn.cyc_miss[lvl];
+            }
+            buf.push(ObsEvent::Level(core, cn.llc, true));
+            acc.add_level(llc, cn.lookup_nj[llc]);
+            latency += cn.cyc_hit[llc];
+            for lvl in (0..cn.priv_levels).rev() {
+                buf.push(ObsEvent::Fill(core, lvl as u8));
+            }
+        }
+        RefKind::MemWalk => {
+            if cn.has_pred {
+                buf.push(ObsEvent::FalsePositive(core));
+            }
+            if cn.pred_overhead {
+                // Probe, then the LLC-insert update(s).
+                acc.add_predictor(cn.pt_access_nj);
+                acc.add_predictor(cn.pt_access_nj);
+                if cn.pred_evict_updates && evicted {
+                    acc.add_predictor(cn.pt_access_nj);
+                }
+            }
+            for lvl in 0..cn.priv_levels {
+                buf.push(ObsEvent::Level(core, lvl as u8, false));
+                acc.add_level(lvl, cn.lookup_nj[lvl]);
+                latency += cn.cyc_miss[lvl];
+            }
+            buf.push(ObsEvent::Level(core, cn.llc, false));
+            acc.add_level(llc, cn.lookup_nj[llc]);
+            latency += cn.cyc_miss[llc];
+            buf.push(ObsEvent::Fill(core, cn.llc));
+            for lvl in (0..cn.priv_levels).rev() {
+                buf.push(ObsEvent::Fill(core, lvl as u8));
+            }
+        }
+        RefKind::Bypass => {
+            buf.push(ObsEvent::Bypass(core));
+            if cn.pred_overhead {
+                acc.add_predictor(cn.pt_access_nj);
+                acc.add_predictor(cn.pt_access_nj);
+                if cn.pred_evict_updates && evicted {
+                    acc.add_predictor(cn.pt_access_nj);
+                }
+            }
+            buf.push(ObsEvent::Level(core, 0, false));
+            acc.add_level(0, cn.lookup_nj[0]);
+            latency += cn.cyc_miss[0];
+            buf.push(ObsEvent::Fill(core, cn.llc));
+            for lvl in (0..cn.priv_levels).rev() {
+                buf.push(ObsEvent::Fill(core, lvl as u8));
+            }
+        }
+    }
+    let delta = acc.total_dynamic_nj() - before;
+    buf.push(ObsEvent::Ref(core, latency, delta));
+}
+
 /// Advances one core through its private levels until its bound-side
 /// clock reaches `limit` (grid units), its target, or its feed's end.
-fn bind_core(
+/// `OBS` additionally logs L1 hits as [`L1HIT`] events for the weave's
+/// observer replay (monomorphized out on unobserved runs).
+fn bind_core<const OBS: bool>(
     cfg: &SimConfig,
     cn: &Consts,
     pc: &mut PerCore,
@@ -426,7 +657,7 @@ fn bind_core(
             }
         }
         pc.log.push(rec);
-        bound_step(&mut pc.sim, cn, &rec, &mut victims);
+        bound_step::<OBS>(&mut pc.sim, cn, &rec, &mut victims);
     }
     if pc.sim.refs >= cn.target {
         pc.sim.done = true;
@@ -437,8 +668,14 @@ fn bind_core(
 }
 
 /// One reference of the bound phase: private levels only, one event per
-/// L1 miss, outcome-dependent charges deferred to the weave.
-fn bound_step(sim: &mut CoreSim, cn: &Consts, rec: &TraceRecord, victims: &mut Vec<u64>) {
+/// L1 miss, outcome-dependent charges deferred to the weave. `OBS` logs
+/// L1 hits too, so the weave can replay the full reference stream.
+fn bound_step<const OBS: bool>(
+    sim: &mut CoreSim,
+    cn: &Consts,
+    rec: &TraceRecord,
+    victims: &mut Vec<u64>,
+) {
     let block = rec.addr >> 6;
     let store = rec.op.is_store();
     let key = sim.clk;
@@ -449,6 +686,14 @@ fn bound_step(sim: &mut CoreSim, cn: &Consts, rec: &TraceRecord, victims: &mut V
         sim.stats.levels[0].hits += 1;
         sim.counts.levels[0] += 1;
         sim.clk += cn.l1_hit_grid;
+        if OBS {
+            sim.events.push(Event {
+                key,
+                block,
+                hit: L1HIT,
+                mark: None,
+            });
+        }
         return;
     }
     // L1 miss: the missed probe is logged (no second access), the PT
@@ -534,8 +779,8 @@ fn bound_step(sim: &mut CoreSim, cn: &Consts, rec: &TraceRecord, victims: &mut V
     }
 }
 
-impl<'a> Engine<'a> {
-    fn new(cfg: &'a SimConfig, feeds: Vec<CoreFeed>) -> Self {
+impl<'a, O: SimObserver> Engine<'a, O> {
+    fn new(cfg: &'a SimConfig, feeds: Vec<CoreFeed>, obs: O) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid SimConfig: {e}");
         }
@@ -627,6 +872,11 @@ impl<'a> Engine<'a> {
             recalib_cost_nj: recalib_cost.map_or(0.0, |c| c.energy_nj),
             recalib_charge: cfg.count_prediction_overhead && recalib_cost.is_some(),
             target: cfg.refs_per_core as u64,
+            has_pred: !matches!(pred, Pred::None),
+            pred_evict_updates: matches!(pred, Pred::Exact(_) | Pred::Cbf(_)),
+            lookup_nj: p.levels.iter().map(|l| l.parallel_lookup_nj()).collect(),
+            cyc_hit: p.levels.iter().map(|l| l.parallel_latency(true)).collect(),
+            cyc_miss: p.levels.iter().map(|l| l.parallel_latency(false)).collect(),
         };
 
         let cores: Vec<PerCore> = feeds
@@ -657,6 +907,7 @@ impl<'a> Engine<'a> {
             misses: 0,
             off: vec![0; cores.len()],
             goff: 0,
+            acc: EnergyAccount::new(levels),
         };
         let snap_cores = cores.iter().map(|p| p.sim.clone()).collect();
         let snap_shared = shared.clone();
@@ -668,10 +919,16 @@ impl<'a> Engine<'a> {
             snap_cores,
             snap_shared,
             snap_log_len: 0,
+            obs,
+            obs_buf: Vec::new(),
         }
     }
 
-    fn run(mut self, opts: &IntraOptions, mut log: Option<&mut Vec<(u64, usize)>>) -> RunResult {
+    fn run(
+        mut self,
+        opts: &IntraOptions,
+        mut log: Option<&mut Vec<(u64, usize)>>,
+    ) -> (RunResult, O) {
         let quantum = opts.quantum_cycles.max(64) * GRID;
         let refs_ctr = AtomicU64::new(0);
         loop {
@@ -682,10 +939,16 @@ impl<'a> Engine<'a> {
             {
                 break;
             }
+            metrics::PAR_QUANTA.incr();
             let h_next = self.next_horizon(quantum);
             self.bind(h_next, opts, &refs_ctr);
-            let aborted = self.weave(h_next, &mut log);
+            let aborted = {
+                let _span = metrics::PHASE_WEAVE.start();
+                self.weave(h_next, &mut log)
+            };
             if aborted {
+                let _span = metrics::PHASE_REDO.start();
+                metrics::PAR_ROLLBACKS.incr();
                 self.redo(&mut log);
             } else if self.cores.iter().all(|p| p.sim.head == p.sim.events.len()) {
                 // Clean point: every bound reference is committed, so the
@@ -747,7 +1010,11 @@ impl<'a> Engine<'a> {
         let cn = &self.consts;
         if opts.jobs <= 1 || active.len() == 1 {
             for &c in &active {
-                bind_core(cfg, cn, &mut self.cores[c], c, limits[c], refs_ctr);
+                if O::ENABLED {
+                    bind_core::<true>(cfg, cn, &mut self.cores[c], c, limits[c], refs_ctr);
+                } else {
+                    bind_core::<false>(cfg, cn, &mut self.cores[c], c, limits[c], refs_ctr);
+                }
             }
             return;
         }
@@ -765,7 +1032,11 @@ impl<'a> Engine<'a> {
             },
             |c| {
                 let mut pc = slots[c].lock().expect("bind slot poisoned");
-                bind_core(cfg, cn, &mut pc, c, limits[c], refs_ctr);
+                if O::ENABLED {
+                    bind_core::<true>(cfg, cn, &mut pc, c, limits[c], refs_ctr);
+                } else {
+                    bind_core::<false>(cfg, cn, &mut pc, c, limits[c], refs_ctr);
+                }
             },
         );
         if let Err(e) = result {
@@ -811,8 +1082,24 @@ impl<'a> Engine<'a> {
     ) -> bool {
         let cn = &self.consts;
         let llc_idx = cn.llc as usize;
+        if ev.hit == L1HIT {
+            // Observer-only event: the reference completed core-locally;
+            // replaying its hooks in global order is its entire commit.
+            debug_assert!(O::ENABLED, "L1-hit events logged without an observer");
+            emit_ref(
+                cn,
+                &mut self.shared.acc,
+                &mut self.obs_buf,
+                c,
+                RefKind::L1Hit,
+                false,
+            );
+            return false;
+        }
         self.shared.misses += 1;
         let mut lat = 0u64;
+        let kind;
+        let mut evicted = false;
         if ev.hit != DEEP {
             // Private walk hit: every predictor walks (see bound_step);
             // only the outcome counters are shared-side.
@@ -843,6 +1130,7 @@ impl<'a> Engine<'a> {
                     sh.pred_stats.walk_hits += 1;
                 }
             }
+            kind = RefKind::PrivHit(ev.hit as usize);
         } else {
             let sh = &mut self.shared;
             let walk = match &sh.pred {
@@ -904,6 +1192,13 @@ impl<'a> Engine<'a> {
                 );
                 sh.pred_stats.bypasses += 1;
             }
+            kind = if !walk {
+                RefKind::Bypass
+            } else if llc_hit {
+                RefKind::LlcHit
+            } else {
+                RefKind::MemWalk
+            };
             if !llc_hit {
                 let victim = fill_shared_commit(
                     &mut self.shared.llc,
@@ -922,6 +1217,7 @@ impl<'a> Engine<'a> {
                         self.shared.stats.memory_writebacks += 1;
                     }
                 }
+                evicted = victim.is_some();
                 self.shared.stats.memory_fetches += 1;
                 self.predictor_fill(ev.block, victim.map(|v| v.block));
             }
@@ -934,6 +1230,16 @@ impl<'a> Engine<'a> {
         self.shared.off[c] += lat;
         if let Some(l) = log.as_deref_mut() {
             l.push((eff, c));
+        }
+        if O::ENABLED {
+            emit_ref(
+                &self.consts,
+                &mut self.shared.acc,
+                &mut self.obs_buf,
+                c,
+                kind,
+                evicted,
+            );
         }
         if self.shared.misses >= self.consts.recalib_threshold {
             self.recalibrate();
@@ -988,6 +1294,9 @@ impl<'a> Engine<'a> {
 
     /// Recalibration in commit order: rebuild the table from the LLC,
     /// charge the modelled stall uniformly (it never reorders commits).
+    /// The sequential engine fires `on_recalibration` after the
+    /// triggering reference's `on_ref` — with zero charges when overhead
+    /// accounting is off — so the observer replay does the same.
     fn recalibrate(&mut self) {
         let sh = &mut self.shared;
         sh.misses = 0;
@@ -997,6 +1306,15 @@ impl<'a> Engine<'a> {
             if self.consts.recalib_charge {
                 sh.counts.recalib += 1;
                 sh.goff += self.consts.recalib_cycles_grid;
+                if O::ENABLED {
+                    sh.acc.add_recalibration(self.consts.recalib_cost_nj);
+                    self.obs_buf.push(ObsEvent::Recalib(
+                        self.consts.recalib_cost_nj,
+                        self.consts.recalib_cycles_grid / GRID,
+                    ));
+                }
+            } else if O::ENABLED {
+                self.obs_buf.push(ObsEvent::Recalib(0.0, 0));
             }
         }
     }
@@ -1011,12 +1329,16 @@ impl<'a> Engine<'a> {
             pc.sim = snap.clone();
         }
         self.shared = self.snap_shared.clone();
+        // The aborted epoch's buffered hooks never reached the observer;
+        // the sequential replay below re-emits the epoch exactly once.
+        self.obs_buf.clear();
         if let Some(l) = log.as_deref_mut() {
             l.truncate(self.snap_log_len);
         }
         let n = self.cores.len();
         let mut idx = vec![0usize; n];
         let mut victims: Vec<u64> = Vec::new();
+        let mut replayed = 0u64;
         loop {
             let mut best: Option<(u64, usize, bool)> = None;
             for (c, (pc, i)) in self.cores.iter().zip(&idx).enumerate() {
@@ -1037,10 +1359,12 @@ impl<'a> Engine<'a> {
             let rec = self.cores[c].log[idx[c]];
             idx[c] += 1;
             self.seq_step(c, key, &rec, &mut victims, log);
+            replayed += 1;
             if self.cores[c].sim.refs >= self.consts.target {
                 self.cores[c].sim.done = true;
             }
         }
+        metrics::PAR_REDO_REFS.add(replayed);
         for (c, pc) in self.cores.iter_mut().enumerate() {
             let rest: Vec<TraceRecord> = pc.log[idx[c]..].to_vec();
             pc.feed.push_front(&rest);
@@ -1074,6 +1398,16 @@ impl<'a> Engine<'a> {
                 s.stats.levels[0].hits += 1;
                 s.counts.levels[0] += 1;
                 s.clk += self.consts.l1_hit_grid;
+                if O::ENABLED {
+                    emit_ref(
+                        &self.consts,
+                        &mut self.shared.acc,
+                        &mut self.obs_buf,
+                        c,
+                        RefKind::L1Hit,
+                        false,
+                    );
+                }
                 return;
             }
             s.stats.levels[0].lookups += 1;
@@ -1107,6 +1441,8 @@ impl<'a> Engine<'a> {
             }
         };
         let mut onchip = false;
+        let mut priv_hit: Option<usize> = None;
+        let mut evicted = false;
         if walk {
             {
                 let s = &mut self.cores[c].sim;
@@ -1126,6 +1462,7 @@ impl<'a> Engine<'a> {
                         );
                         victims.clear();
                         onchip = true;
+                        priv_hit = Some(lvl);
                         break;
                     }
                     lat += self.consts.lat_miss[lvl];
@@ -1184,6 +1521,7 @@ impl<'a> Engine<'a> {
                     self.shared.stats.memory_writebacks += 1;
                 }
             }
+            evicted = victim.is_some();
             self.shared.stats.memory_fetches += 1;
             self.predictor_fill(block, victim.map(|v| v.block));
             self.fill_column_top(c, block, store, victims);
@@ -1191,6 +1529,25 @@ impl<'a> Engine<'a> {
         self.cores[c].sim.clk += lat;
         if let Some(l) = log.as_deref_mut() {
             l.push((key, c));
+        }
+        if O::ENABLED {
+            let kind = if !walk {
+                RefKind::Bypass
+            } else if let Some(h) = priv_hit {
+                RefKind::PrivHit(h)
+            } else if onchip {
+                RefKind::LlcHit
+            } else {
+                RefKind::MemWalk
+            };
+            emit_ref(
+                &self.consts,
+                &mut self.shared.acc,
+                &mut self.obs_buf,
+                c,
+                kind,
+                evicted,
+            );
         }
         if self.shared.misses >= self.consts.recalib_threshold {
             self.recalibrate();
@@ -1221,7 +1578,29 @@ impl<'a> Engine<'a> {
         victims.clear();
     }
 
+    /// Drains the buffered hook stream into the real observer. Called
+    /// only at epoch-snapshot points, which a rollback can never cross —
+    /// so every reference is observed exactly once, in global order.
+    fn flush_obs(&mut self) {
+        let mut buf = std::mem::take(&mut self.obs_buf);
+        for ev in buf.drain(..) {
+            match ev {
+                ObsEvent::WalkHit(c) => self.obs.on_walk_hit(c),
+                ObsEvent::FalsePositive(c) => self.obs.on_false_positive(c),
+                ObsEvent::Bypass(c) => self.obs.on_bypass(c),
+                ObsEvent::Level(c, lvl, hit) => self.obs.on_level_access(c, lvl, hit),
+                ObsEvent::Fill(c, lvl) => self.obs.on_fill(c, lvl),
+                ObsEvent::Ref(c, cycles, nj) => self.obs.on_ref(c, cycles, nj),
+                ObsEvent::Recalib(nj, cycles) => self.obs.on_recalibration(nj, cycles),
+            }
+        }
+        self.obs_buf = buf;
+    }
+
     fn take_snapshot(&mut self, log: &Option<&mut Vec<(u64, usize)>>) {
+        if O::ENABLED {
+            self.flush_obs();
+        }
         self.snap_cores.clear();
         self.snap_cores
             .extend(self.cores.iter().map(|p| p.sim.clone()));
@@ -1229,7 +1608,12 @@ impl<'a> Engine<'a> {
         self.snap_log_len = log.as_ref().map_or(0, |l| l.len());
     }
 
-    fn finish(self) -> RunResult {
+    fn finish(mut self) -> (RunResult, O) {
+        let _span = metrics::PHASE_MERGE.start();
+        if O::ENABLED {
+            self.flush_obs();
+            self.obs.on_window_close();
+        }
         let cn = &self.consts;
         let mut stats = self.shared.stats.clone();
         let mut counts = self.shared.counts.clone();
@@ -1257,7 +1641,7 @@ impl<'a> Engine<'a> {
         for _ in 0..counts.recalib {
             acc.add_recalibration(cn.recalib_cost_nj);
         }
-        RunResult {
+        let result = RunResult {
             cycles,
             refs_per_core: refs,
             energy: acc.finalize(
@@ -1268,7 +1652,8 @@ impl<'a> Engine<'a> {
             hierarchy: stats,
             prediction: self.shared.pred_stats,
             prefetch: PrefetchSummary::default(),
-        }
+        };
+        (result, self.obs)
     }
 }
 

@@ -104,18 +104,32 @@ impl ResultCache {
         None
     }
 
-    /// Stores a freshly simulated result under `key`.
-    pub fn store(&self, key: &str, hash: u64, result: &RunResult) {
+    /// Stores a freshly simulated result under `key`. When a manifest is
+    /// supplied, its deterministic identity fields are embedded in the
+    /// disk entry — [`load_entry`] ignores unknown members, so entries
+    /// with and without one interoperate, and only
+    /// [`metrics::RunManifest::to_json`]'s job-count-invariant fields go
+    /// in (cache directories are byte-compared across `--jobs`).
+    pub fn store(
+        &self,
+        key: &str,
+        hash: u64,
+        result: &RunResult,
+        manifest: Option<&metrics::RunManifest>,
+    ) {
         self.memory
             .lock()
             .expect("cache poisoned")
             .insert(key.to_string(), result.clone());
         if let Some(path) = self.disk_path(hash) {
-            let doc = json!({
+            let mut doc = json!({
                 "schema": CACHE_SCHEMA,
                 "key": key,
                 "result": result.to_json(),
             });
+            if let Some(m) = manifest {
+                doc.set("manifest", m.to_json());
+            }
             if let Some(dir) = path.parent() {
                 if std::fs::create_dir_all(dir).is_err() {
                     return; // cache is best-effort; the sweep still runs
@@ -168,7 +182,7 @@ mod tests {
         let hash = spec.content_hash();
         assert!(cache.lookup(&key, hash).is_none());
         let r = spec.simulate();
-        cache.store(&key, hash, &r);
+        cache.store(&key, hash, &r, None);
         let back = cache.lookup(&key, hash).expect("hit");
         assert_eq!(back.cycles, r.cycles);
         assert_eq!(cache.counters.hits(), 1);
@@ -185,9 +199,23 @@ mod tests {
         let r = spec.simulate();
         {
             let cache = ResultCache::with_disk(dir.clone());
-            cache.store(&key, hash, &r);
+            cache.store(&key, hash, &r, Some(&spec.manifest()));
             assert_eq!(cache.counters.disk_stores.load(Ordering::Relaxed), 1);
         }
+        // The entry embeds the deterministic manifest, and loaders that
+        // don't know about it still resolve the result below.
+        let file = dir.join(CACHE_VERSION).join(format!("{hash:016x}.json"));
+        let text = std::fs::read_to_string(&file).expect("entry on disk");
+        let doc = minijson::parse(&text).expect("entry parses");
+        let manifest = doc.get("manifest").expect("manifest embedded");
+        assert_eq!(
+            manifest.get("schema").unwrap().as_str().unwrap(),
+            "redhip-manifest/v1"
+        );
+        assert_eq!(
+            manifest.get("mechanism").unwrap().as_str().unwrap(),
+            "ReDHiP"
+        );
         // A fresh cache (fresh process, conceptually) must rehydrate the
         // result so that its JSON re-serializes byte-identically — the
         // property the figure determinism guarantee rests on.
@@ -206,7 +234,7 @@ mod tests {
         let key = spec.canonical_key();
         let hash = spec.content_hash();
         let cache = ResultCache::with_disk(dir.clone());
-        cache.store(&key, hash, &spec.simulate());
+        cache.store(&key, hash, &spec.simulate(), None);
         // Same hash file, different requested key → must not serve it.
         assert!(cache.lookup("some-other-key", hash).is_none());
         let _ = std::fs::remove_dir_all(&dir);

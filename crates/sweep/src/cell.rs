@@ -93,6 +93,30 @@ impl CellSpec {
         fnv1a64(self.canonical_key().as_bytes())
     }
 
+    /// Deterministic run manifest for this cell, embedded into cache
+    /// entries and exportable via `--metrics`. Every field is derived
+    /// from the cell's identity alone (never from job counts or wall
+    /// clocks), so entries stay byte-identical across schedulers; the
+    /// `sequential_fallback` flag records whether the configuration lies
+    /// outside the bound–weave envelope and therefore always runs
+    /// sequentially regardless of `--intra-jobs`.
+    pub fn manifest(&self) -> metrics::RunManifest {
+        let (workload, seed) = match &self.source {
+            CellSource::Synth { benchmark, scale } => (
+                benchmark.name().to_string(),
+                format!("synth(core,{})", scale_tag(*scale)),
+            ),
+            CellSource::File(w) => (w.identity_tag(), "trace-file".to_string()),
+        };
+        metrics::RunManifest {
+            mechanism: self.cfg.mechanism.name().to_string(),
+            workload,
+            seed,
+            config_hash: self.content_hash(),
+            sequential_fallback: !sim::parallel_supported(&self.cfg),
+        }
+    }
+
     /// Expected cost, for longest-cell-first scheduling: simulated
     /// references per core times core count. Relative cost is what the
     /// scheduler needs; refs dominate wall time across mechanisms.

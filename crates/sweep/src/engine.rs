@@ -278,12 +278,16 @@ impl SweepEngine {
             slots.push(Mutex::new(cached));
         }
         let cache_hits = self.cache.counters.hits() - hits_before;
+        metrics::SWEEP_CACHE_HITS.add(cache_hits);
+        metrics::SWEEP_CACHE_MISSES.add((n as u64).saturating_sub(cache_hits));
 
         // Longest-expected-cell-first; ties break by id so the seed order
         // (though not the results — those are keyed by id) is stable.
         to_run.sort_by_key(|&id| (std::cmp::Reverse(plan.cells[id].cost()), id));
 
         let simulated = to_run.len() as u64;
+        metrics::SWEEP_CELLS_SIMULATED.add(simulated);
+        let _sim_span = metrics::PHASE_SIMULATE.start();
         let ticks = AtomicU64::new(0);
         if !to_run.is_empty() {
             let mut heart = telemetry::Heartbeat::new(label, "cells", to_run.len() as u64);
@@ -295,8 +299,12 @@ impl SweepEngine {
                 let id = to_run[k];
                 let spec = &plan.cells[id];
                 let result = spec.simulate_par(self.intra_jobs);
-                self.cache
-                    .store(&spec.canonical_key(), spec.content_hash(), &result);
+                self.cache.store(
+                    &spec.canonical_key(),
+                    spec.content_hash(),
+                    &result,
+                    Some(&spec.manifest()),
+                );
                 *slots[id].lock().expect("slot poisoned") = Some(result);
             };
             if workers <= 1 {
@@ -331,10 +339,12 @@ impl SweepEngine {
                     .unwrap_or_else(|| panic!("cell {id} produced no result"))
             })
             .collect();
+        drop(_sim_span);
         let refs_simulated = to_run
             .iter()
             .map(|&id| results[id].total_refs())
             .sum::<u64>();
+        metrics::SWEEP_REFS_SIMULATED.add(refs_simulated);
 
         Ok(SweepResults {
             stats: SweepStats {

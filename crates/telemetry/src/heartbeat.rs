@@ -21,6 +21,12 @@ pub struct Heartbeat {
     last_emit: Option<Instant>,
     interval_secs: f64,
     enabled: bool,
+    /// The final 100% line went out (exactly once, whether `set_done`
+    /// crossing the total or `finish` got there first).
+    done_emitted: bool,
+    /// Progress lines emitted (counted even when silent, so tests can
+    /// assert emission behavior without capturing stderr).
+    emits: u64,
 }
 
 impl Heartbeat {
@@ -37,6 +43,8 @@ impl Heartbeat {
             last_emit: None,
             interval_secs: 1.0,
             enabled: true,
+            done_emitted: false,
+            emits: 0,
         }
     }
 
@@ -57,6 +65,11 @@ impl Heartbeat {
         self.done
     }
 
+    /// Progress lines emitted so far (still counted when silent).
+    pub fn emits(&self) -> u64 {
+        self.emits
+    }
+
     /// Records `n` more completed units and emits a line if the rate
     /// limit allows.
     pub fn add(&mut self, n: u64) {
@@ -68,13 +81,28 @@ impl Heartbeat {
     /// limit allows. This is the contention-free shape for parallel work:
     /// workers tick a shared `AtomicU64` and a single reporting thread
     /// drains it here, so job completion never takes a lock.
+    ///
+    /// Reaching a known total forces the final 100% line through the
+    /// rate limiter — a run completing inside the last interval still
+    /// reports completion — and emits it exactly once ([`Heartbeat::finish`]
+    /// will not repeat it).
     pub fn set_done(&mut self, done: u64) {
         self.done = done;
-        self.maybe_emit(false);
+        if self.total > 0 && done >= self.total && !self.done_emitted {
+            self.done_emitted = true;
+            self.maybe_emit(true);
+        } else {
+            self.maybe_emit(false);
+        }
     }
 
-    /// Emits a final line unconditionally (marks the run complete).
+    /// Emits a final line unconditionally (marks the run complete) —
+    /// unless `set_done` already emitted the final 100% line.
     pub fn finish(&mut self) {
+        if self.done_emitted && self.total > 0 && self.done >= self.total {
+            return;
+        }
+        self.done_emitted = true;
         self.maybe_emit(true);
     }
 
@@ -103,9 +131,6 @@ impl Heartbeat {
     }
 
     fn maybe_emit(&mut self, force: bool) {
-        if !self.enabled {
-            return;
-        }
         let now = Instant::now();
         let due = match self.last_emit {
             None => self.started.elapsed().as_secs_f64() >= self.interval_secs,
@@ -113,8 +138,11 @@ impl Heartbeat {
         };
         if force || due {
             self.last_emit = Some(now);
-            let mut err = std::io::stderr().lock();
-            let _ = writeln!(err, "{}", self.line());
+            self.emits += 1;
+            if self.enabled {
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "{}", self.line());
+            }
         }
     }
 }
@@ -226,6 +254,78 @@ mod tests {
         assert_eq!(human_secs(5.0), "5s");
         assert_eq!(human_secs(125.0), "2m05s");
         assert_eq!(human_secs(7260.0), "2h01m");
+    }
+
+    #[test]
+    fn set_done_forces_the_final_line_through_the_rate_limiter() {
+        // Interval far longer than the test: every emission below is
+        // either the completion override or a double-print bug.
+        let mut h = Heartbeat::new("sweep", "cells", 4)
+            .silent()
+            .with_interval_secs(3_600.0);
+        h.set_done(1);
+        assert_eq!(h.emits(), 0, "mid-run tick must stay rate-limited");
+        h.set_done(4);
+        assert_eq!(h.emits(), 1, "reaching the total must emit 100%");
+        h.set_done(4);
+        assert_eq!(h.emits(), 1, "completion line must not repeat");
+        h.finish();
+        assert_eq!(h.emits(), 1, "finish must not double-print the final line");
+    }
+
+    #[test]
+    fn finish_still_emits_when_total_is_unknown_or_unreached() {
+        let mut h = Heartbeat::new("gen", "rows", 0)
+            .silent()
+            .with_interval_secs(3_600.0);
+        h.add(10);
+        assert_eq!(h.emits(), 0);
+        h.finish();
+        assert_eq!(h.emits(), 1);
+
+        let mut p = Heartbeat::new("sweep", "cells", 100)
+            .silent()
+            .with_interval_secs(3_600.0);
+        p.set_done(40); // aborted early: finish must still report
+        p.finish();
+        assert_eq!(p.emits(), 1);
+    }
+
+    /// `Tee` fans one hook stream out to a collector-style observer and a
+    /// `HeartbeatObserver`: both sides must see every reference, and the
+    /// heartbeat must emit its single 100% line at window close.
+    #[test]
+    fn tee_composes_with_a_heartbeat_observer() {
+        use crate::Tee;
+
+        #[derive(Default)]
+        struct CountRefs {
+            refs: u64,
+            closed: bool,
+        }
+        impl SimObserver for CountRefs {
+            fn on_ref(&mut self, _core: usize, _cycles: u64, _nj: f64) {
+                self.refs += 1;
+            }
+            fn on_window_close(&mut self) {
+                self.closed = true;
+            }
+        }
+
+        let hb = HeartbeatObserver::new(
+            Heartbeat::new("sim", "refs", 64)
+                .silent()
+                .with_interval_secs(3_600.0),
+        );
+        let mut tee = Tee::new(CountRefs::default(), hb);
+        for i in 0..64 {
+            tee.on_ref(i % 2, 3, 0.25);
+        }
+        tee.on_window_close();
+        assert_eq!(tee.a.refs, 64);
+        assert!(tee.a.closed);
+        assert_eq!(tee.b.heartbeat().done(), 64);
+        assert_eq!(tee.b.heartbeat().emits(), 1, "exactly one final line");
     }
 
     #[test]
