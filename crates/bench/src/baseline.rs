@@ -8,7 +8,7 @@
 //!
 //! The measured configuration mirrors `benches/sim_throughput.rs`: the
 //! demo-scale platform, 8 cores, smoke-scale traces of one benchmark, and
-//! the five compared mechanisms. Wall-clock includes trace generation
+//! every registered mechanism. Wall-clock includes trace generation
 //! (~3 ns/ref, i.e. noise next to the simulator itself).
 
 use minijson::{json, Json};
@@ -20,13 +20,18 @@ use workloads::{Benchmark, Scale};
 /// Schema tag written into every snapshot.
 pub const SCHEMA: &str = "redhip-bench/v1";
 
-/// The five mechanisms measured, in report order.
-pub const MECHANISMS: [Mechanism; 5] = [
+/// The mechanisms measured, in report order: the paper's five followed by
+/// the registry contenders. `--bench-compare` tolerates snapshots recorded
+/// before a mechanism existed (rows are joined by name).
+pub const MECHANISMS: [Mechanism; 8] = [
     Mechanism::Base,
     Mechanism::Redhip,
     Mechanism::Cbf,
     Mechanism::Phased,
     Mechanism::Oracle,
+    Mechanism::LevelPred,
+    Mechanism::Perceptron,
+    Mechanism::WayMemo,
 ];
 
 /// Knobs for one measurement.
@@ -456,7 +461,7 @@ mod tests {
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
         assert_eq!(
             doc.get("results").and_then(Json::as_array).unwrap().len(),
-            5
+            MECHANISMS.len()
         );
         for mech in MECHANISMS {
             let rps = refs_per_sec(&doc, mech.name()).expect("mechanism present");
@@ -477,7 +482,7 @@ mod tests {
             doc.get("sweep")
                 .and_then(|s| s.get("cells"))
                 .and_then(Json::as_u64),
-            Some(5)
+            Some(MECHANISMS.len() as u64)
         );
         assert!(render(&doc).contains("sweep"));
     }

@@ -7,6 +7,8 @@
 //!
 //! TARGETS: all (default) | table1 | fig1 | fig6..fig15 | core (fig6-10)
 //!          | sweeps (fig11-13) | prefetch (fig14-15) | ablations
+//!          | shootout (every non-Base mechanism incl. the registry
+//!            contenders: speedup + normalized dynamic energy)
 //! ```
 //!
 //! Every requested figure's cells are enumerated into ONE deduplicated job
@@ -33,7 +35,7 @@ use sweep::{default_jobs, ResultCache, SweepEngine, SweepPlan};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [all|core|sweeps|prefetch|ablations|table1|fig1|fig6..fig15]... \
+        "usage: figures [all|core|sweeps|prefetch|ablations|shootout|table1|fig1|fig6..fig15]... \
          [--scale smoke|demo|paper] [--refs N] [--out DIR] [--jobs N] [--intra-jobs N] \
          [--cache] [--cache-dir DIR] [--metrics[=FILE]]"
     );
@@ -193,6 +195,7 @@ fn run_manifest(args: &Args, settings: &Settings, plan: &SweepPlan) -> metrics::
         });
     metrics::RunManifest {
         mechanism: "sweep".to_string(),
+        predictor_spec: "sweep".to_string(),
         workload,
         seed: format!("synth(core,{:?}):refs={}", args.scale, settings.refs),
         config_hash,
@@ -233,6 +236,8 @@ fn main() {
         .iter()
         .any(|n| wants(&args, n, "core"));
     let matrix_plan = need_matrix.then(|| figures::plan_matrix(&settings, &mut plan));
+    let shootout_plan =
+        wants(&args, "shootout", "shootout").then(|| figures::plan_shootout(&settings, &mut plan));
     let p11 = wants(&args, "fig11", "sweeps").then(|| figures::plan_fig11(&settings, &mut plan));
     let p12 = wants(&args, "fig12", "sweeps").then(|| figures::plan_fig12(&settings, &mut plan));
     let p13 = wants(&args, "fig13", "sweeps").then(|| figures::plan_fig13(&settings, &mut plan));
@@ -307,6 +312,10 @@ fn main() {
         if wants(&args, "fig10", "core") {
             emit(&args, &manifest, &figures::fig10(&m));
         }
+    }
+    if let Some(sp) = &shootout_plan {
+        let m = figures::matrix_from(&settings, sp, &res);
+        emit(&args, &manifest, &figures::shootout(&m));
     }
     if let Some(p) = &p11 {
         emit(&args, &manifest, &figures::fig11_from(&settings, p, &res));

@@ -5,7 +5,11 @@
 //!
 //!   --benchmark NAME     bwaves|GemsFDTD|lbm|mcf|milc|soplex|astar|
 //!                        cactusADM|mix|pmf|blas            (required)
-//!   --mechanism M        base|redhip|cbf|phased|oracle     (default redhip)
+//!   --mechanism M        registry spec string (default redhip):
+//!                        base|redhip|phased|oracle|cbf[:bits=..,hashes=..]|
+//!                        level-pred[:conf=..,max=..,penalty=..]|
+//!                        perceptron[:theta=..,history=..]|
+//!                        way-memo[:entries=..,penalty=..]
 //!   --policy P           inclusive|exclusive|hybrid        (default inclusive)
 //!   --scale S            smoke|demo|paper                  (default demo)
 //!   --refs N             references per core               (default per scale)
@@ -83,7 +87,7 @@ fn main() {
     }
 
     let mut benchmark = None;
-    let mut mechanism = Mechanism::Redhip;
+    let mut mechanism = sim::ParsedSpec::new(Mechanism::Redhip);
     let mut policy = InclusionPolicy::Inclusive;
     let mut scale = FigureScale::Demo;
     let mut refs: Option<usize> = None;
@@ -116,14 +120,8 @@ fn main() {
                 );
             }
             "--mechanism" | "-m" => {
-                mechanism = match next("--mechanism").to_ascii_lowercase().as_str() {
-                    "base" => Mechanism::Base,
-                    "redhip" => Mechanism::Redhip,
-                    "cbf" => Mechanism::Cbf,
-                    "phased" => Mechanism::Phased,
-                    "oracle" => Mechanism::Oracle,
-                    other => usage(&format!("unknown mechanism {other}")),
-                };
+                let spec = next("--mechanism").to_ascii_lowercase();
+                mechanism = sim::parse_spec(&spec).unwrap_or_else(|e| usage(&e));
             }
             "--policy" | "-p" => {
                 policy = match next("--policy").to_ascii_lowercase().as_str() {
@@ -258,7 +256,9 @@ fn main() {
     let benchmark = benchmark.unwrap_or_else(|| usage("--benchmark is required"));
 
     let refs = refs.unwrap_or_else(|| scale.default_refs());
-    let mut cfg = mechanism_config(scale, mechanism, refs);
+    let mut cfg = mechanism_config(scale, mechanism.mechanism, refs);
+    mechanism.apply(&mut cfg);
+    let mechanism = mechanism.mechanism;
     cfg.policy = policy;
     cfg.pt_bytes = pt_bytes;
     if let Some(r) = recalib {

@@ -30,6 +30,18 @@ pub const COMPARED: [Mechanism; 4] = [
     Mechanism::Redhip,
 ];
 
+/// Every non-Base mechanism, for the predictor shoot-out: the paper's
+/// legend order followed by the registry contenders.
+pub const SHOOTOUT: [Mechanism; 7] = [
+    Mechanism::Oracle,
+    Mechanism::Cbf,
+    Mechanism::Phased,
+    Mechanism::Redhip,
+    Mechanism::LevelPred,
+    Mechanism::Perceptron,
+    Mechanism::WayMemo,
+];
+
 /// Common experiment settings.
 #[derive(Debug, Clone)]
 pub struct Settings {
@@ -73,31 +85,35 @@ fn ws(s: &Settings) -> workloads::Scale {
     s.scale.workload_scale()
 }
 
-/// The Base + four-mechanism result matrix shared by Figures 6–10.
+/// A Base + N-mechanism result matrix (Figures 6–10 share the [`COMPARED`]
+/// one; the predictor shoot-out runs a [`SHOOTOUT`] one).
 pub struct Matrix {
     /// The settings it ran with.
     pub settings: Settings,
+    /// Mechanisms compared against Base, in column order.
+    pub mechanisms: Vec<Mechanism>,
     /// Base per workload.
     pub base: Vec<RunResult>,
-    /// `results[mech][workload]`, mech order = [`COMPARED`].
+    /// `results[mech][workload]`, mech order = [`Matrix::mechanisms`].
     pub results: Vec<Vec<RunResult>>,
 }
 
-/// Planned cell ids for the Figure 6–10 matrix.
+/// Planned cell ids for a workload × mechanism matrix.
 pub struct MatrixPlan {
+    mechanisms: Vec<Mechanism>,
     base: Vec<CellId>,
     results: Vec<Vec<CellId>>,
 }
 
-/// Enumerates the full workload × mechanism matrix into `plan`.
-pub fn plan_matrix(s: &Settings, plan: &mut SweepPlan) -> MatrixPlan {
+/// Enumerates a workload × `mechanisms` matrix (plus Base) into `plan`.
+pub fn plan_matrix_of(s: &Settings, plan: &mut SweepPlan, mechanisms: &[Mechanism]) -> MatrixPlan {
     let scale = ws(s);
     let base = s
         .workloads
         .iter()
         .map(|&w| plan.cell(&cfg_for(s, Mechanism::Base), w, scale))
         .collect();
-    let results = COMPARED
+    let results = mechanisms
         .iter()
         .map(|&m| {
             s.workloads
@@ -106,13 +122,29 @@ pub fn plan_matrix(s: &Settings, plan: &mut SweepPlan) -> MatrixPlan {
                 .collect()
         })
         .collect();
-    MatrixPlan { base, results }
+    MatrixPlan {
+        mechanisms: mechanisms.to_vec(),
+        base,
+        results,
+    }
+}
+
+/// Enumerates the Figure 6–10 matrix into `plan`.
+pub fn plan_matrix(s: &Settings, plan: &mut SweepPlan) -> MatrixPlan {
+    plan_matrix_of(s, plan, &COMPARED)
+}
+
+/// Enumerates the predictor shoot-out matrix (all 7 non-Base mechanisms)
+/// into `plan`.
+pub fn plan_shootout(s: &Settings, plan: &mut SweepPlan) -> MatrixPlan {
+    plan_matrix_of(s, plan, &SHOOTOUT)
 }
 
 /// Assembles the [`Matrix`] from a finished sweep.
 pub fn matrix_from(s: &Settings, p: &MatrixPlan, res: &SweepResults) -> Matrix {
     Matrix {
         settings: s.clone(),
+        mechanisms: p.mechanisms.clone(),
         base: p.base.iter().map(|&id| res.get(id).clone()).collect(),
         results: p
             .results
@@ -136,14 +168,14 @@ fn series_table(
     fmt: impl Fn(f64) -> String,
 ) -> (TextTable, Vec<Vec<f64>>) {
     let mut header = vec!["workload"];
-    for mech in COMPARED {
+    for mech in &m.mechanisms {
         header.push(mech.name());
     }
     let mut t = TextTable::new(&header);
-    let mut series: Vec<Vec<f64>> = vec![Vec::new(); COMPARED.len()];
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); m.mechanisms.len()];
     for (wi, &w) in m.settings.workloads.iter().enumerate() {
         let mut row = vec![w.name().to_string()];
-        for (mi, _) in COMPARED.iter().enumerate() {
+        for (mi, _) in m.mechanisms.iter().enumerate() {
             let c = Comparison::new(&m.base[wi], &m.results[mi][wi]);
             let v = cell(&c);
             series[mi].push(v);
@@ -163,7 +195,7 @@ fn matrix_json(m: &Matrix, series: &[Vec<f64>], metric: &str) -> Json {
     json!({
         "metric": metric,
         "workloads": m.settings.workloads.iter().map(|w| w.name()).collect::<Vec<_>>(),
-        "mechanisms": COMPARED.iter().map(|x| x.name()).collect::<Vec<_>>(),
+        "mechanisms": m.mechanisms.iter().map(|x| x.name()).collect::<Vec<_>>(),
         "values": series.to_vec(),
         "averages": series.iter().map(|s| mean(s)).collect::<Vec<_>>(),
     })
@@ -283,6 +315,45 @@ pub fn fig8(m: &Matrix) -> FigureOutput {
     }
 }
 
+/// The predictor shoot-out: every non-Base mechanism's speedup and
+/// normalized dynamic energy side by side (Figure 6/7-style rows over the
+/// [`SHOOTOUT`] columns, including the registry contenders).
+pub fn shootout(m: &Matrix) -> FigureOutput {
+    let (t_speed, speedup) = series_table(m, |c| c.speedup(), TextTable::pct);
+    let (t_energy, dynamic) = series_table(m, |c| c.dynamic_ratio(), TextTable::ratio);
+    let envelope: Vec<bool> = m
+        .mechanisms
+        .iter()
+        .map(|&x| sim::registry_info(x).parallel_envelope)
+        .collect();
+    let text = format!(
+        "Predictor shoot-out: speedup over Base (positive = faster)\n{}\n\
+         Predictor shoot-out: dynamic cache energy normalized to Base (lower = better)\n{}\n\
+         registry contenders (LevelPred/Perceptron/WayMemo) run outside the\n\
+         parallel envelope: --intra-jobs > 1 takes the sequential fallback\n",
+        t_speed.render(),
+        t_energy.render()
+    );
+    FigureOutput {
+        name: "shootout",
+        title: "Predictor shoot-out".into(),
+        json: json!({
+            "speedup": matrix_json(m, &speedup, "speedup"),
+            "dynamic_ratio": matrix_json(m, &dynamic, "dynamic_ratio"),
+            "parallel_envelope": envelope,
+        }),
+        text,
+    }
+}
+
+/// Runs the shoot-out matrix and renders it (single-figure entry point).
+pub fn run_shootout(s: &Settings) -> FigureOutput {
+    let mut plan = SweepPlan::new();
+    let p = plan_shootout(s, &mut plan);
+    let res = run_plan(&plan, "[figures] shootout");
+    shootout(&matrix_from(s, &p, &res))
+}
+
 fn hit_rate_figure(
     name: &'static str,
     title: &str,
@@ -331,10 +402,11 @@ pub fn fig9(m: &Matrix) -> FigureOutput {
 
 /// Figure 10: per-level hit rates under ReDHiP.
 pub fn fig10(m: &Matrix) -> FigureOutput {
-    let redhip_idx = COMPARED
+    let redhip_idx = m
+        .mechanisms
         .iter()
         .position(|&x| x == Mechanism::Redhip)
-        .expect("ReDHiP in COMPARED");
+        .expect("ReDHiP in the matrix");
     let mut out = hit_rate_figure(
         "fig10",
         "Figure 10: per-level hit rate, ReDHiP",
@@ -757,6 +829,25 @@ mod tests {
             assert!(f.text.contains("average"));
             assert!(!f.json.is_null());
         }
+    }
+
+    #[test]
+    fn shootout_covers_all_non_base_mechanisms() {
+        let mut s = smoke_settings();
+        s.workloads = vec![Benchmark::Mcf];
+        let f = run_shootout(&s);
+        for mech in SHOOTOUT {
+            assert!(f.text.contains(mech.name()), "{} missing", mech.name());
+        }
+        assert!(f.text.contains("sequential fallback"));
+        assert_eq!(
+            f.json["speedup"]["mechanisms"].as_array().unwrap().len(),
+            SHOOTOUT.len()
+        );
+        assert_eq!(
+            f.json["parallel_envelope"].as_array().unwrap().len(),
+            SHOOTOUT.len()
+        );
     }
 
     #[test]

@@ -24,7 +24,8 @@
 //!     Feeds the file to the simulator chunk-at-a-time (bounded memory,
 //!     zero per-record allocation) and reports results + throughput.
 //!       --mode M        dup|interleave|range            (default dup)
-//!       --mechanism M   base|redhip|cbf|phased|oracle   (default redhip)
+//!       --mechanism M   registry spec string — see `redhip-sim --help`
+//!                       (default redhip)
 //!       --scale S       smoke|demo|paper platform       (default demo)
 //!       --refs N        references per core             (default: shard len)
 //!       --cpi X         CPI charged for gap instructions (default 1.5)
@@ -290,7 +291,7 @@ fn info(args: Vec<String>) {
 fn replay(args: Vec<String>) {
     let mut input = None;
     let mut mode = FileMode::Duplicate;
-    let mut mechanism = Mechanism::Redhip;
+    let mut mechanism = sim::ParsedSpec::new(Mechanism::Redhip);
     let mut scale = FigureScale::Demo;
     let mut refs: Option<usize> = None;
     let mut cpi: Option<f64> = None;
@@ -308,14 +309,8 @@ fn replay(args: Vec<String>) {
                     .unwrap_or_else(|| usage(&format!("unknown mode {v} (dup|interleave|range)")));
             }
             "--mechanism" | "-m" => {
-                mechanism = match f.value("--mechanism").to_ascii_lowercase().as_str() {
-                    "base" => Mechanism::Base,
-                    "redhip" => Mechanism::Redhip,
-                    "cbf" => Mechanism::Cbf,
-                    "phased" => Mechanism::Phased,
-                    "oracle" => Mechanism::Oracle,
-                    other => usage(&format!("unknown mechanism {other}")),
-                };
+                let spec = f.value("--mechanism").to_ascii_lowercase();
+                mechanism = sim::parse_spec(&spec).unwrap_or_else(|e| usage(&e));
             }
             "--scale" => {
                 let v = f.value("--scale");
@@ -350,7 +345,9 @@ fn replay(args: Vec<String>) {
         workload.set_avg_cpi(c);
     }
 
-    let mut cfg = mechanism_config(scale, mechanism, 0);
+    let mut cfg = mechanism_config(scale, mechanism.mechanism, 0);
+    mechanism.apply(&mut cfg);
+    let mechanism = mechanism.mechanism;
     let cores = cfg.platform.cores;
     // Default target: exactly what the shard can supply, so a replay of a
     // recorded file consumes it fully.

@@ -52,6 +52,14 @@ impl CacheSpec {
     pub fn phased_latency(&self, hit: bool) -> u64 {
         self.tag_delay + if hit { self.data_delay } else { 0 }
     }
+
+    /// Energy of a single-way lookup: when a way predictor (or memo) names
+    /// the way holding the block, only one of the `assoc` tag+data pairs
+    /// is read. Modelled as the parallel lookup divided by associativity —
+    /// the per-way array slice.
+    pub fn way_lookup_nj(&self) -> f64 {
+        (self.tag_energy_nj + self.data_energy_nj) / self.assoc as f64
+    }
 }
 
 /// Parameters of the ReDHiP prediction table (or the CBF given the same
@@ -269,6 +277,13 @@ mod tests {
         assert!((s.phased_lookup_nj(false) - 0.348).abs() < 1e-9);
         assert_eq!(s.phased_latency(true), 21);
         assert_eq!(s.phased_latency(false), 9);
+    }
+
+    #[test]
+    fn way_lookup_is_parallel_lookup_per_way() {
+        let s = l3();
+        assert!((s.way_lookup_nj() - 1.187 / 16.0).abs() < 1e-9);
+        assert!(s.way_lookup_nj() < s.phased_lookup_nj(false));
     }
 
     #[test]

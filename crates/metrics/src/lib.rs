@@ -296,6 +296,15 @@ pub static TRACE_CHUNKS_DECODED: Counter = Counter::new("trace.chunks_decoded");
 /// Feed refills that stalled on decoding at least one new chunk.
 pub static TRACE_REFILL_STALLS: Counter = Counter::new("trace.refill_stalls");
 
+/// Registry-predictor probes (one per L1 miss of a custom mechanism).
+pub static PRED_PROBES: Counter = Counter::new("pred.probes");
+/// Probes that produced a confident steer (level or off-chip).
+pub static PRED_STEERED: Counter = Counter::new("pred.steered");
+/// Confident steers that turned out wrong (penalty charged).
+pub static PRED_MISPREDICTS: Counter = Counter::new("pred.mispredicts");
+/// L1 hits whose tag-way reads were skipped by a memo (WayMemo).
+pub static PRED_MEMO_SKIPS: Counter = Counter::new("pred.memo_skips");
+
 /// Bound–weave quanta (scheduler rounds) executed.
 pub static PAR_QUANTA: Counter = Counter::new("par.quanta");
 /// Epoch rollbacks triggered by cross-core LLC-victim conflicts.
@@ -338,6 +347,10 @@ fn registry() -> Vec<Metric> {
         C(&SWEEP_REFS_SIMULATED),
         C(&TRACE_CHUNKS_DECODED),
         C(&TRACE_REFILL_STALLS),
+        C(&PRED_PROBES),
+        C(&PRED_STEERED),
+        C(&PRED_MISPREDICTS),
+        C(&PRED_MEMO_SKIPS),
         C(&PAR_QUANTA),
         C(&PAR_ROLLBACKS),
         C(&PAR_REDO_REFS),
@@ -471,6 +484,10 @@ pub fn phase_timings_json() -> Json {
 pub struct RunManifest {
     /// Mechanism name (`base`/`redhip`/...).
     pub mechanism: String,
+    /// Full canonical predictor spec (`level-pred:conf=2,max=3,penalty=8`):
+    /// unlike `mechanism`, it distinguishes two parameterizations of the
+    /// same mechanism.
+    pub predictor_spec: String,
     /// Workload identity (benchmark name or trace-file identity tag).
     pub workload: String,
     /// Deterministic seed tag: how the workload's streams were seeded
@@ -491,6 +508,7 @@ impl RunManifest {
         json!({
             "schema": MANIFEST_SCHEMA,
             "mechanism": &self.mechanism,
+            "predictor_spec": &self.predictor_spec,
             "workload": &self.workload,
             "seed": &self.seed,
             "config_hash": format!("{:016x}", self.config_hash),
@@ -596,6 +614,7 @@ mod tests {
     fn manifest_json_is_deterministic_and_phased_variant_adds_timings() {
         let m = RunManifest {
             mechanism: "redhip".into(),
+            predictor_spec: "redhip".into(),
             workload: "mcf".into(),
             seed: "synth:mcf/demo".into(),
             config_hash: 0xdead_beef,

@@ -1,0 +1,163 @@
+//! Per-load hit-level prediction (the LevelPred contender).
+//!
+//! Jalili & Erez ("Reducing Load Latency with Cache Level Prediction",
+//! arXiv:2103.14808) predict, per load, *which* level of the hierarchy will
+//! serve it, and steer the lookup straight there instead of walking the
+//! levels in order. Unlike ReDHiP's residency table this is a *value*
+//! predictor: each entry remembers the last observed service level for its
+//! address class plus a saturating confidence counter, and a prediction is
+//! acted on only above a confidence threshold — below it the machine falls
+//! back to the conservative in-order walk, so the mechanism degenerates to
+//! Base when confidence is unattainable.
+
+use crate::hash::BitsHash;
+
+/// Sentinel level meaning "no observation recorded yet".
+pub const LEVEL_UNTRAINED: u8 = u8::MAX;
+/// Sentinel level meaning "the load was served by memory" (off chip).
+pub const LEVEL_MEMORY: u8 = u8::MAX - 1;
+
+/// One direct-mapped entry: last observed service level + confidence.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    level: u8,
+    conf: u8,
+}
+
+/// Direct-mapped table of `(level, confidence)` pairs, bits-hash indexed
+/// like the ReDHiP PT (2 bytes per entry at the same area budget).
+#[derive(Debug, Clone)]
+pub struct LevelPredictor {
+    entries: Vec<Entry>,
+    hash: BitsHash,
+    conf_max: u8,
+}
+
+impl LevelPredictor {
+    /// Builds a table with `index_bits`-bit indices; confidences saturate
+    /// at `conf_max`.
+    pub fn new(index_bits: u32, conf_max: u8) -> Self {
+        let hash = BitsHash::new(index_bits);
+        let mut entries = vec![
+            Entry {
+                level: LEVEL_UNTRAINED,
+                conf: 0,
+            };
+            hash.table_entries() as usize
+        ];
+        crate::prefault(&mut entries);
+        Self {
+            entries,
+            hash,
+            conf_max,
+        }
+    }
+
+    /// Builds the table from an area budget in bytes (2 bytes per entry;
+    /// the entry count is rounded down to a power of two).
+    pub fn from_capacity_bytes(bytes: u64, conf_max: u8) -> Self {
+        let entries = (bytes / 2).max(2);
+        let bits = 63 - entries.leading_zeros() as u64;
+        Self::new(bits as u32, conf_max)
+    }
+
+    /// Capacity in entries.
+    pub fn entries(&self) -> u64 {
+        self.hash.table_entries()
+    }
+
+    /// Capacity in bytes (2 bytes per entry).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.entries() * 2
+    }
+
+    /// The saturation point of the confidence counters.
+    pub fn conf_max(&self) -> u8 {
+        self.conf_max
+    }
+
+    /// Reads the entry for `block`: `(predicted level, confidence)`.
+    /// `level` is [`LEVEL_UNTRAINED`] before any training,
+    /// [`LEVEL_MEMORY`] for a predicted off-chip service.
+    #[inline]
+    pub fn predict(&self, block: u64) -> (u8, u8) {
+        let e = self.entries[self.hash.index(block) as usize];
+        (e.level, e.conf)
+    }
+
+    /// Trains on the observed service level (hysteresis update: agreement
+    /// bumps confidence, disagreement decays it and replaces the level
+    /// once confidence is exhausted).
+    pub fn train(&mut self, block: u64, level: u8) {
+        let e = &mut self.entries[self.hash.index(block) as usize];
+        if e.level == level {
+            e.conf = e.conf.saturating_add(1).min(self.conf_max);
+        } else if e.conf > 0 && e.level != LEVEL_UNTRAINED {
+            e.conf -= 1;
+        } else {
+            e.level = level;
+            e.conf = 1.min(self.conf_max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_sizing_rounds_down_to_power_of_two() {
+        let t = LevelPredictor::from_capacity_bytes(64 << 10, 3);
+        assert_eq!(t.entries(), 1 << 15); // 64 KB / 2 B = 2^15 entries
+        assert_eq!(t.capacity_bytes(), 64 << 10);
+        let odd = LevelPredictor::from_capacity_bytes(3000, 3);
+        assert_eq!(odd.entries(), 1024);
+    }
+
+    #[test]
+    fn untrained_entries_report_sentinel() {
+        let t = LevelPredictor::new(8, 3);
+        assert_eq!(t.predict(42), (LEVEL_UNTRAINED, 0));
+    }
+
+    #[test]
+    fn agreement_saturates_confidence() {
+        let mut t = LevelPredictor::new(8, 2);
+        for _ in 0..10 {
+            t.train(7, 2);
+        }
+        assert_eq!(t.predict(7), (2, 2));
+    }
+
+    #[test]
+    fn disagreement_decays_then_replaces() {
+        let mut t = LevelPredictor::new(8, 3);
+        t.train(7, 2);
+        t.train(7, 2); // level 2, conf 2
+        t.train(7, LEVEL_MEMORY); // conf 1
+        assert_eq!(t.predict(7), (2, 1));
+        t.train(7, LEVEL_MEMORY); // conf 0
+        assert_eq!(t.predict(7), (2, 0));
+        t.train(7, LEVEL_MEMORY); // replaced
+        assert_eq!(t.predict(7), (LEVEL_MEMORY, 1));
+    }
+
+    #[test]
+    fn aliasing_blocks_share_an_entry() {
+        let mut t = LevelPredictor::new(8, 3);
+        t.train(3, 1);
+        assert_eq!(t.predict(3 + 256).0, 1);
+        assert_eq!(t.predict(4).0, LEVEL_UNTRAINED);
+    }
+
+    #[test]
+    fn conf_max_zero_never_gains_confidence() {
+        // The degeneracy knob: with conf_max 0 no prediction can clear a
+        // positive threshold, so a steering client always walks.
+        let mut t = LevelPredictor::new(6, 0);
+        for _ in 0..5 {
+            t.train(9, 1);
+        }
+        assert_eq!(t.predict(9), (1, 0));
+    }
+}

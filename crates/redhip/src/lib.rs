@@ -50,14 +50,20 @@ pub mod bank;
 pub mod cbf;
 pub mod exact;
 pub mod hash;
+pub mod level_table;
+pub mod perceptron;
 pub mod recalib;
 pub mod table;
 pub mod traits;
+pub mod waymemo;
 
 pub use bank::PredictorBank;
 pub use cbf::{CbfConfig, CountingBloomFilter};
 pub use exact::ExactCountingTable;
 pub use hash::{BitsHash, XorHash};
+pub use level_table::{LevelPredictor, LEVEL_MEMORY, LEVEL_UNTRAINED};
+pub use perceptron::OffChipPerceptron;
 pub use recalib::{RecalibCost, RecalibrationEngine};
 pub use table::PredictionTable;
 pub use traits::{Prediction, PresencePredictor};
+pub use waymemo::WayMemo;

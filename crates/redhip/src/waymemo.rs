@@ -1,0 +1,162 @@
+//! Way memoization (the WayMemo contender).
+//!
+//! Ma, Zhang & Huang ("Way Memoization...", arXiv:0710.4703) cut cache
+//! lookup energy by remembering, for recently touched blocks, that the
+//! block is resident — a re-touch can then skip the parallel tag-way
+//! reads and fetch a single way directly. The structure here is the
+//! conservative direct-mapped variant: a table of full block addresses;
+//! a probe hit means "this exact block was recorded and not displaced",
+//! so the memo can only fire for true re-touches, never for an aliased
+//! stranger. Stale entries (block recorded, then evicted) are possible
+//! and must be charged by the client as a memo mispredict; `retain`
+//! scrubs them against a resident set at recalibration boundaries.
+
+use crate::hash::BitsHash;
+
+const EMPTY: u64 = u64::MAX;
+
+/// Direct-mapped memo of full block addresses recently seen resident.
+#[derive(Debug, Clone)]
+pub struct WayMemo {
+    slots: Vec<u64>,
+    hash: BitsHash,
+}
+
+impl WayMemo {
+    /// Builds a memo with `index_bits`-bit indices.
+    pub fn new(index_bits: u32) -> Self {
+        let hash = BitsHash::new(index_bits);
+        let mut slots = vec![EMPTY; hash.table_entries() as usize];
+        crate::prefault(&mut slots);
+        Self { slots, hash }
+    }
+
+    /// Builds a memo with at least `entries.max(2)` slots rounded down to
+    /// a power of two.
+    pub fn with_entries(entries: u64) -> Self {
+        let entries = entries.max(2);
+        let bits = 63 - entries.leading_zeros() as u64;
+        Self::new(bits as u32)
+    }
+
+    /// Capacity in slots.
+    pub fn entries(&self) -> u64 {
+        self.hash.table_entries()
+    }
+
+    /// Whether `block` is memoized (exact-match: aliases never hit).
+    #[inline(always)]
+    pub fn probe(&self, block: u64) -> bool {
+        self.slots[self.hash.index(block) as usize] == block
+    }
+
+    /// Records `block` as resident, displacing whatever aliased the slot.
+    #[inline]
+    pub fn record(&mut self, block: u64) {
+        self.slots[self.hash.index(block) as usize] = block;
+    }
+
+    /// Forgets `block` if it is the slot's occupant.
+    #[inline]
+    pub fn clear(&mut self, block: u64) {
+        let slot = &mut self.slots[self.hash.index(block) as usize];
+        if *slot == block {
+            *slot = EMPTY;
+        }
+    }
+
+    /// Drops every memoized block not in `resident`, the recalibration
+    /// scrub. Idempotent and order-independent: the result depends only
+    /// on the membership set, so feeding the same residents twice — or in
+    /// any order — leaves the memo identical.
+    pub fn retain(&mut self, resident: impl Iterator<Item = u64>) {
+        let mut keep = vec![false; self.slots.len()];
+        for block in resident {
+            let idx = self.hash.index(block) as usize;
+            if self.slots[idx] == block {
+                keep[idx] = true;
+            }
+        }
+        for (slot, keep) in self.slots.iter_mut().zip(keep) {
+            if !keep {
+                *slot = EMPTY;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn record_then_probe_hits_exactly() {
+        let mut m = WayMemo::new(8);
+        m.record(0x1234);
+        assert!(m.probe(0x1234));
+        assert!(!m.probe(0x1234 + 256)); // aliases the slot but mismatches
+        assert!(!m.probe(0x1235));
+    }
+
+    #[test]
+    fn aliasing_record_displaces() {
+        let mut m = WayMemo::new(8);
+        m.record(10);
+        m.record(10 + 256);
+        assert!(!m.probe(10));
+        assert!(m.probe(10 + 256));
+    }
+
+    #[test]
+    fn clear_only_removes_the_occupant() {
+        let mut m = WayMemo::new(8);
+        m.record(5);
+        m.clear(5 + 256); // aliased stranger: no effect
+        assert!(m.probe(5));
+        m.clear(5);
+        assert!(!m.probe(5));
+    }
+
+    #[test]
+    fn with_entries_rounds_down_to_power_of_two() {
+        assert_eq!(WayMemo::with_entries(256).entries(), 256);
+        assert_eq!(WayMemo::with_entries(300).entries(), 256);
+        assert_eq!(WayMemo::with_entries(1).entries(), 2);
+    }
+
+    #[test]
+    fn retain_is_idempotent_and_order_independent() {
+        let mut seed = 0x5EED_0001u64;
+        let blocks: Vec<u64> = (0..200).map(|_| splitmix(&mut seed) >> 20).collect();
+        let mut a = WayMemo::new(6);
+        for &b in &blocks {
+            a.record(b);
+        }
+        let mut b = a.clone();
+        let resident: Vec<u64> = blocks.iter().copied().step_by(3).collect();
+        a.retain(resident.iter().copied());
+        let once = a.slots.clone();
+        a.retain(resident.iter().copied()); // idempotent
+        assert_eq!(a.slots, once);
+        b.retain(resident.iter().copied().rev()); // order-independent
+        assert_eq!(b.slots, once);
+    }
+
+    #[test]
+    fn retain_drops_non_residents() {
+        let mut m = WayMemo::new(8);
+        m.record(1);
+        m.record(2);
+        m.retain([2u64].into_iter());
+        assert!(!m.probe(1));
+        assert!(m.probe(2));
+    }
+}

@@ -5,7 +5,8 @@ use energy_model::PlatformSpec;
 use minijson::{json, FromJson, Json, ToJson};
 use prefetch::StrideConfig;
 
-/// Which of the paper's five compared mechanisms to simulate.
+/// Which of the compared mechanisms to simulate: the paper's five plus the
+/// three related-work contenders from the predictor registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mechanism {
     /// No prediction/optimization; all levels parallel tag+data.
@@ -19,6 +20,15 @@ pub enum Mechanism {
     Phased,
     /// Perfect LLC-residency predictor with zero overhead.
     Oracle,
+    /// Per-load predicted hit level steering the lookup order, with a
+    /// mispredict penalty (Jalili & Erez, arXiv:2103.14808).
+    LevelPred,
+    /// Hashed two-level perceptron with a confidence threshold gating the
+    /// DRAM bypass (Jamet et al., arXiv:2403.15181).
+    Perceptron,
+    /// Way memoization: tag-way read skipping on re-touched blocks, charged
+    /// in the energy model (arXiv:0710.4703).
+    WayMemo,
 }
 
 impl Mechanism {
@@ -30,13 +40,24 @@ impl Mechanism {
             Mechanism::Cbf => "CBF",
             Mechanism::Phased => "Phased",
             Mechanism::Oracle => "Oracle",
+            Mechanism::LevelPred => "LevelPred",
+            Mechanism::Perceptron => "Perceptron",
+            Mechanism::WayMemo => "WayMemo",
         }
     }
 
     /// Whether this mechanism instantiates a predictor structure (and so
-    /// pays its leakage).
+    /// pays its leakage). The registry contenders all do — they are sized
+    /// to the same area budget as the PT for an equal-area comparison.
     pub fn has_predictor(self) -> bool {
-        matches!(self, Mechanism::Redhip | Mechanism::Cbf)
+        matches!(
+            self,
+            Mechanism::Redhip
+                | Mechanism::Cbf
+                | Mechanism::LevelPred
+                | Mechanism::Perceptron
+                | Mechanism::WayMemo
+        )
     }
 }
 
@@ -54,6 +75,65 @@ impl Default for CbfParams {
         Self {
             counter_bits: 4,
             num_hashes: 1,
+        }
+    }
+}
+
+/// LevelPred design knobs (used when `mechanism == LevelPred`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelPredParams {
+    /// Minimum confidence for a prediction to steer the lookup; below it
+    /// the access falls back to the full in-order walk. A threshold above
+    /// `conf_max` makes LevelPred degenerate to Base pricing.
+    pub conf_threshold: u32,
+    /// Saturation point of the per-entry confidence counters.
+    pub conf_max: u32,
+    /// Extra cycles charged per steered lookup that missed its level.
+    pub mispredict_penalty: u64,
+}
+
+impl Default for LevelPredParams {
+    fn default() -> Self {
+        Self {
+            conf_threshold: 2,
+            conf_max: 3,
+            mispredict_penalty: 8,
+        }
+    }
+}
+
+/// PerceptronOffChip design knobs (used when `mechanism == Perceptron`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerceptronParams {
+    /// Confidence threshold θ: a weight sum ≥ θ gates the DRAM bypass.
+    pub theta: i32,
+    /// Bits of per-core off-chip outcome history folded into the hashes.
+    pub history_bits: u32,
+}
+
+impl Default for PerceptronParams {
+    fn default() -> Self {
+        Self {
+            theta: 12,
+            history_bits: 8,
+        }
+    }
+}
+
+/// WayMemo design knobs (used when `mechanism == WayMemo`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayMemoParams {
+    /// Memo slots per core (rounded down to a power of two).
+    pub entries: u32,
+    /// Extra cycles charged when a stale memo entry fires.
+    pub stale_penalty: u64,
+}
+
+impl Default for WayMemoParams {
+    fn default() -> Self {
+        Self {
+            entries: 256,
+            stale_penalty: 1,
         }
     }
 }
@@ -97,6 +177,12 @@ pub struct SimConfig {
     pub recalib_banks: u64,
     /// CBF parameters (used when `mechanism == Cbf`).
     pub cbf: CbfParams,
+    /// LevelPred parameters (used when `mechanism == LevelPred`).
+    pub level_pred: LevelPredParams,
+    /// Perceptron parameters (used when `mechanism == Perceptron`).
+    pub perceptron: PerceptronParams,
+    /// WayMemo parameters (used when `mechanism == WayMemo`).
+    pub way_memo: WayMemoParams,
     /// Average CPI charged per non-memory instruction.
     pub avg_cpi: f64,
     /// Memory references simulated per core.
@@ -125,6 +211,9 @@ impl SimConfig {
             recalib_period: Some(65_536),
             recalib_banks: 4,
             cbf: CbfParams::default(),
+            level_pred: LevelPredParams::default(),
+            perceptron: PerceptronParams::default(),
+            way_memo: WayMemoParams::default(),
             avg_cpi: 1.5,
             refs_per_core: 1_000_000,
             count_prediction_overhead: true,
@@ -151,6 +240,17 @@ impl SimConfig {
                 self.mechanism.name()
             ));
         }
+        if matches!(
+            self.mechanism,
+            Mechanism::LevelPred | Mechanism::Perceptron | Mechanism::WayMemo
+        ) && self.policy != InclusionPolicy::Inclusive
+        {
+            return Err(format!(
+                "{} is modelled for the inclusive hierarchy only (its \
+                 recalibration scrub and steering penalties assume L1 ⊆ LLC)",
+                self.mechanism.name()
+            ));
+        }
         if self.prefetch.is_some() && self.policy != InclusionPolicy::Inclusive {
             return Err("prefetching is modelled for the inclusive hierarchy only".into());
         }
@@ -173,6 +273,9 @@ impl ToJson for Mechanism {
                 Mechanism::Cbf => "Cbf",
                 Mechanism::Phased => "Phased",
                 Mechanism::Oracle => "Oracle",
+                Mechanism::LevelPred => "LevelPred",
+                Mechanism::Perceptron => "Perceptron",
+                Mechanism::WayMemo => "WayMemo",
             }
             .to_string(),
         )
@@ -187,6 +290,9 @@ impl FromJson for Mechanism {
             Some("Cbf") => Ok(Mechanism::Cbf),
             Some("Phased") => Ok(Mechanism::Phased),
             Some("Oracle") => Ok(Mechanism::Oracle),
+            Some("LevelPred") => Ok(Mechanism::LevelPred),
+            Some("Perceptron") => Ok(Mechanism::Perceptron),
+            Some("WayMemo") => Ok(Mechanism::WayMemo),
             _ => Err(format!("not a Mechanism: {v:?}")),
         }
     }
@@ -206,6 +312,66 @@ impl FromJson for CbfParams {
         Ok(Self {
             counter_bits: v.u64_of("counter_bits")? as u32,
             num_hashes: v.u64_of("num_hashes")? as u32,
+        })
+    }
+}
+
+impl ToJson for LevelPredParams {
+    fn to_json(&self) -> Json {
+        json!({
+            "conf_threshold": self.conf_threshold,
+            "conf_max": self.conf_max,
+            "mispredict_penalty": self.mispredict_penalty,
+        })
+    }
+}
+
+impl FromJson for LevelPredParams {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            conf_threshold: v.u64_of("conf_threshold")? as u32,
+            conf_max: v.u64_of("conf_max")? as u32,
+            mispredict_penalty: v.u64_of("mispredict_penalty")?,
+        })
+    }
+}
+
+impl ToJson for PerceptronParams {
+    fn to_json(&self) -> Json {
+        json!({
+            "theta": i64::from(self.theta),
+            "history_bits": self.history_bits,
+        })
+    }
+}
+
+impl FromJson for PerceptronParams {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            theta: v
+                .member("theta")?
+                .as_i64()
+                .ok_or_else(|| "member `theta` is not an i64".to_string())?
+                as i32,
+            history_bits: v.u64_of("history_bits")? as u32,
+        })
+    }
+}
+
+impl ToJson for WayMemoParams {
+    fn to_json(&self) -> Json {
+        json!({
+            "entries": self.entries,
+            "stale_penalty": self.stale_penalty,
+        })
+    }
+}
+
+impl FromJson for WayMemoParams {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            entries: v.u64_of("entries")? as u32,
+            stale_penalty: v.u64_of("stale_penalty")?,
         })
     }
 }
@@ -232,7 +398,7 @@ impl FromJson for AccountingOptions {
 
 impl ToJson for SimConfig {
     fn to_json(&self) -> Json {
-        json!({
+        let mut doc = json!({
             "platform": self.platform.to_json(),
             "mechanism": self.mechanism.to_json(),
             "policy": self.policy.to_json(),
@@ -247,7 +413,20 @@ impl ToJson for SimConfig {
             "count_prediction_overhead": self.count_prediction_overhead,
             "accounting": self.accounting.to_json(),
             "address_space_bit": self.address_space_bit,
-        })
+        });
+        // Mechanism-specific parameter blocks are emitted only for the
+        // mechanism that owns them. That keeps every pre-registry
+        // serialization (goldens, sweep canonical keys, disk caches)
+        // byte-identical while still folding the full predictor spec into
+        // the canonical key — two LevelPred configs that differ only in a
+        // confidence threshold get different keys.
+        match self.mechanism {
+            Mechanism::LevelPred => doc.set("level_pred", self.level_pred.to_json()),
+            Mechanism::Perceptron => doc.set("perceptron", self.perceptron.to_json()),
+            Mechanism::WayMemo => doc.set("way_memo", self.way_memo.to_json()),
+            _ => {}
+        }
+        doc
     }
 }
 
@@ -275,6 +454,18 @@ impl FromJson for SimConfig {
             recalib_period: opt_u64("recalib_period")?,
             recalib_banks: v.u64_of("recalib_banks")?,
             cbf: CbfParams::from_json(v.member("cbf")?)?,
+            level_pred: match v.get("level_pred") {
+                Some(p) => LevelPredParams::from_json(p)?,
+                None => LevelPredParams::default(),
+            },
+            perceptron: match v.get("perceptron") {
+                Some(p) => PerceptronParams::from_json(p)?,
+                None => PerceptronParams::default(),
+            },
+            way_memo: match v.get("way_memo") {
+                Some(p) => WayMemoParams::from_json(p)?,
+                None => WayMemoParams::default(),
+            },
             avg_cpi: v.f64_of("avg_cpi")?,
             refs_per_core: v.u64_of("refs_per_core")? as usize,
             count_prediction_overhead: v.bool_of("count_prediction_overhead")?,
@@ -308,7 +499,14 @@ mod tests {
 
     #[test]
     fn exclusive_rejects_predictorless_bypass_mechanisms() {
-        for m in [Mechanism::Cbf, Mechanism::Oracle, Mechanism::Phased] {
+        for m in [
+            Mechanism::Cbf,
+            Mechanism::Oracle,
+            Mechanism::Phased,
+            Mechanism::LevelPred,
+            Mechanism::Perceptron,
+            Mechanism::WayMemo,
+        ] {
             let mut c = SimConfig::new(demo_scale(), m);
             c.policy = InclusionPolicy::Exclusive;
             assert!(c.validate().is_err(), "{m:?} must be rejected");
@@ -336,6 +534,52 @@ mod tests {
         assert!(Mechanism::Cbf.has_predictor());
         assert!(!Mechanism::Oracle.has_predictor());
         assert_eq!(Mechanism::Phased.name(), "Phased");
+        assert!(Mechanism::LevelPred.has_predictor());
+        assert!(Mechanism::Perceptron.has_predictor());
+        assert!(Mechanism::WayMemo.has_predictor());
+        assert_eq!(Mechanism::LevelPred.name(), "LevelPred");
+    }
+
+    #[test]
+    fn registry_mechanisms_require_inclusive() {
+        for m in [
+            Mechanism::LevelPred,
+            Mechanism::Perceptron,
+            Mechanism::WayMemo,
+        ] {
+            let mut c = SimConfig::new(demo_scale(), m);
+            assert!(c.validate().is_ok(), "{m:?} inclusive must pass");
+            c.policy = InclusionPolicy::Hybrid;
+            assert!(c.validate().is_err(), "{m:?} hybrid must be rejected");
+        }
+    }
+
+    #[test]
+    fn param_blocks_serialize_only_for_their_mechanism() {
+        // The JSON of a pre-registry mechanism must not change — sweep
+        // canonical keys and golden snapshots depend on it byte-for-byte.
+        let base = SimConfig::new(demo_scale(), Mechanism::Base).to_json();
+        assert!(base.get("level_pred").is_none());
+        assert!(base.get("perceptron").is_none());
+        assert!(base.get("way_memo").is_none());
+
+        let mut c = SimConfig::new(demo_scale(), Mechanism::LevelPred);
+        c.level_pred.conf_threshold = 5;
+        let doc = c.to_json();
+        assert_eq!(
+            doc.get("level_pred").unwrap().u64_of("conf_threshold"),
+            Ok(5)
+        );
+        assert!(doc.get("perceptron").is_none());
+        let back = SimConfig::from_json(&doc).unwrap();
+        assert_eq!(back.level_pred, c.level_pred);
+
+        let p = SimConfig::new(demo_scale(), Mechanism::Perceptron);
+        let back = SimConfig::from_json(&p.to_json()).unwrap();
+        assert_eq!(back.perceptron, p.perceptron);
+        let w = SimConfig::new(demo_scale(), Mechanism::WayMemo);
+        let back = SimConfig::from_json(&w.to_json()).unwrap();
+        assert_eq!(back.way_memo, w.way_memo);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Wires the substrates together the way the paper's evaluation
 //! infrastructure does: per-core trace streams (from `workloads`) drive an
-//! 8-core deep hierarchy (`cache-sim`) under one of five mechanisms —
+//! 8-core deep hierarchy (`cache-sim`) under one of eight mechanisms —
 //!
 //! * **Base** — walk L1→L2→L3→L4→memory, parallel tag+data everywhere.
 //! * **ReDHiP** — consult the prediction table after each L1 miss; bypass
@@ -11,6 +11,12 @@
 //! * **CBF** — same lookup point, counting-Bloom-filter predictor.
 //! * **Phased** — no predictor; L3/L4 serialize tag → data.
 //! * **Oracle** — perfect LLC-residency knowledge at zero cost.
+//! * **LevelPred** — per-load predicted hit level steers the lookup order
+//!   ([`predictor`] registry, arXiv:2103.14808).
+//! * **Perceptron** — hashed perceptron gating the DRAM bypass behind a
+//!   confidence threshold (arXiv:2403.15181).
+//! * **WayMemo** — tag-way read skipping on memoized re-touched blocks
+//!   (arXiv:0710.4703).
 //!
 //! Timing follows the paper's model: non-memory instructions cost
 //! `gap × avg_cpi` cycles, memory time is the serialized lookup chain, the
@@ -26,12 +32,20 @@
 pub mod config;
 pub mod metrics;
 pub mod parallel;
+pub mod predictor;
 pub mod report;
 pub mod run;
 pub mod stats;
 pub mod system;
 
-pub use config::{AccountingOptions, CbfParams, Mechanism, SimConfig};
+pub use config::{
+    AccountingOptions, CbfParams, LevelPredParams, Mechanism, PerceptronParams, SimConfig,
+    WayMemoParams,
+};
+pub use predictor::{
+    build_impl, parse_spec, registry_info, spec_string, MechanismInfo, ParsedSpec, PredictorImpl,
+    Steer, WalkOutcome, REGISTRY,
+};
 // `crate::` disambiguates the local module from the `metrics` registry
 // crate the runtime instrumentation lives in.
 pub use crate::metrics::Comparison;

@@ -165,6 +165,17 @@ pub fn parallel_supported(cfg: &SimConfig) -> bool {
         && cfg.prefetch.is_none()
         && cfg.accounting == AccountingOptions::default()
         && cfg.mechanism != Mechanism::Phased
+        // Registry mechanisms (LevelPred / Perceptron / WayMemo) run
+        // sequentially: WayMemo splits the L1 charge between two energy
+        // constants depending on memo state, which breaks the engine's
+        // order-independent count-replay pricing, and the steering
+        // mechanisms' mispredict penalties are not yet modelled on the
+        // clock grid. The documented fallback keeps results byte-identical
+        // at every `--intra-jobs` value.
+        && !matches!(
+            cfg.mechanism,
+            Mechanism::LevelPred | Mechanism::Perceptron | Mechanism::WayMemo
+        )
         && cfg.recalib_period != Some(0)
         && cfg.refs_per_core > 0
         && cfg.platform.levels.len() >= 2
@@ -834,6 +845,9 @@ impl<'a, O: SimObserver> Engine<'a, O> {
                     pt_spec.access_energy_nj,
                 ));
                 Pred::Table(table)
+            }
+            Mechanism::LevelPred | Mechanism::Perceptron | Mechanism::WayMemo => {
+                unreachable!("registry mechanisms are outside the parallel envelope")
             }
         };
         let recalib_threshold = match (&pred, cfg.recalib_period) {

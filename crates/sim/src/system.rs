@@ -1,17 +1,15 @@
 //! The system model: cores, hierarchy, predictor, prefetcher, accounting.
 
 use crate::config::{Mechanism, SimConfig};
+use crate::predictor::{build_state, PredictorState, Steer, WalkOutcome};
 use crate::stats::{PredictionStats, PrefetchSummary};
-use cache_sim::hierarchy::{DeepHierarchy, HierarchyConfig, InclusionPolicy};
+use cache_sim::hierarchy::{DeepHierarchy, HierarchyConfig};
 use cache_sim::traversal::{LevelId, Traversal, MEMORY};
 use cache_sim::CacheConfig;
 use energy_model::{EnergyAccount, PredictorSpec};
 use mem_trace::record::TraceRecord;
 use prefetch::StridePrefetcher;
-use redhip::{
-    CbfConfig, CountingBloomFilter, Prediction, PredictionTable, PredictorBank, PresencePredictor,
-    RecalibrationEngine,
-};
+use redhip::{Prediction, RecalibrationEngine};
 use std::collections::HashSet;
 use telemetry::{NullObserver, SimObserver};
 
@@ -20,31 +18,6 @@ use telemetry::{NullObserver, SimObserver};
 /// is a comparably small SRAM structure). Affects only the prefetch studies
 /// and is identical across mechanisms.
 const RPT_ACCESS_NJ: f64 = 0.01;
-
-/// Predictor state per mechanism.
-enum PredictorState {
-    /// Base / Phased: no predictor.
-    None,
-    /// Oracle: consults the LLC directly at zero cost.
-    Oracle,
-    /// Single table beside the (inclusive) LLC behind the predictor trait:
-    /// CBF, or ReDHiP's perfect-recalibration variant.
-    Single(Box<dyn PresencePredictor + Send>),
-    /// The common ReDHiP configuration, devirtualized: holding the
-    /// [`PredictionTable`] directly lets the per-miss probe inline to a
-    /// single load+mask instead of a virtual call.
-    Table(PredictionTable),
-    /// §III-C fully-exclusive configuration: one scaled table per cache.
-    /// Index layout: `(level-1) * cores + core` for private levels,
-    /// last index = shared LLC.
-    Multi {
-        bank: PredictorBank,
-        /// Per-table scaled energy/latency spec (same order as the bank).
-        specs: Vec<PredictorSpec>,
-        /// Per-table recalibration engines (same order).
-        engines: Vec<RecalibrationEngine>,
-    },
-}
 
 /// A complete simulated machine processing one record at a time.
 ///
@@ -74,12 +47,18 @@ pub struct System<O: SimObserver = NullObserver> {
     /// mechanism never recalibrates. Folding the predictor-kind match into
     /// one constant makes the per-reference due-check a single compare.
     recalib_threshold: u64,
+    /// Whether the L1-hit fast path consults the custom predictor
+    /// (WayMemo observes every L1 access to skip tag-way reads).
+    custom_l1: bool,
+    /// Precomputed single-way L1 read energy (a memoized hit's price).
+    way_hit_nj: f64,
     /// Blocks brought in by prefetch and not yet demanded (usefulness).
     prefetched: HashSet<u64>,
     // Reusable scratch.
     t: Traversal,
     pf_t: Traversal,
     pf_buf: Vec<u64>,
+    steer_buf: Vec<(LevelId, bool)>,
 }
 
 impl System {
@@ -133,38 +112,7 @@ impl<O: SimObserver> System<O> {
         let llc_sets = llc_geom.sets();
         let llc_assoc = hier_cfg.shared_llc.assoc;
 
-        let mut recalib_engine = None;
-        let predictor = match (cfg.mechanism, cfg.policy) {
-            (Mechanism::Base | Mechanism::Phased, _) => PredictorState::None,
-            (Mechanism::Oracle, _) => PredictorState::Oracle,
-            (Mechanism::Cbf, _) => {
-                let c = CbfConfig::from_budget(pt_bytes, cfg.cbf.counter_bits, cfg.cbf.num_hashes);
-                PredictorState::Single(Box::new(CountingBloomFilter::new(c)))
-            }
-            (Mechanism::Redhip, InclusionPolicy::Inclusive | InclusionPolicy::Hybrid)
-                if cfg.recalib_period == Some(1) =>
-            {
-                // "Perfect recalibration" (Fig. 12's leftmost point): a
-                // table rebuilt after every L1 miss is semantically an
-                // exactly-counted bits-hash table, maintained incrementally.
-                PredictorState::Single(Box::new(redhip::ExactCountingTable::from_capacity_bytes(
-                    pt_bytes,
-                )))
-            }
-            (Mechanism::Redhip, InclusionPolicy::Inclusive | InclusionPolicy::Hybrid) => {
-                let table = PredictionTable::from_capacity_bytes(pt_bytes);
-                recalib_engine = Some(RecalibrationEngine::new(
-                    llc_sets,
-                    llc_assoc,
-                    table.lines(),
-                    cfg.recalib_banks,
-                    p.llc().tag_energy_nj,
-                    pt_spec.access_energy_nj,
-                ));
-                PredictorState::Table(table)
-            }
-            (Mechanism::Redhip, InclusionPolicy::Exclusive) => Self::build_multi(&cfg, &pt_spec),
-        };
+        let (predictor, recalib_engine) = build_state(&cfg, &pt_spec, llc_sets, llc_assoc);
 
         let prefetchers = match cfg.prefetch {
             Some(sc) => (0..p.cores).map(|_| StridePrefetcher::new(sc)).collect(),
@@ -175,8 +123,11 @@ impl<O: SimObserver> System<O> {
             (PredictorState::Table(_), Some(period)) => period,
             (PredictorState::Single(p), Some(period)) if p.supports_recalibration() => period,
             (PredictorState::Multi { .. }, Some(period)) => period,
+            (PredictorState::Custom(p), Some(period)) if p.supports_recalibration() => period,
             _ => u64::MAX,
         };
+
+        let custom_l1 = matches!(&predictor, PredictorState::Custom(p) if p.observes_l1_hits());
 
         // Price the L1 hit once, mirroring `absorb_and_price` exactly for a
         // `(0, true)` lookup under this mechanism.
@@ -189,6 +140,7 @@ impl<O: SimObserver> System<O> {
             };
 
         let levels = p.levels.len();
+        let way_hit_nj = p.levels[0].way_lookup_nj();
         Self {
             obs,
             hierarchy,
@@ -205,54 +157,14 @@ impl<O: SimObserver> System<O> {
             l1_hit_nj,
             l1_hit_cycles,
             recalib_threshold,
+            custom_l1,
+            way_hit_nj,
             prefetched: HashSet::new(),
             t: Traversal::new(),
             pf_t: Traversal::new(),
             pf_buf: Vec::new(),
+            steer_buf: Vec::new(),
             cfg,
-        }
-    }
-
-    /// Builds the per-cache table bank for the exclusive configuration.
-    fn build_multi(cfg: &SimConfig, base_spec: &PredictorSpec) -> PredictorState {
-        let p = &cfg.platform;
-        let ratio = cfg.effective_pt_bytes() as f64 / p.llc().capacity_bytes as f64;
-        let cores = p.cores;
-        let levels = p.levels.len();
-        let mut capacities = Vec::new();
-        // Private levels L2..L(n-1), one table per core each.
-        for lvl in 1..levels - 1 {
-            for _ in 0..cores {
-                capacities.push(p.levels[lvl].capacity_bytes);
-            }
-        }
-        capacities.push(p.llc().capacity_bytes);
-        let bank = PredictorBank::with_overhead_ratio(&capacities, ratio);
-        let mut specs = Vec::with_capacity(bank.len());
-        let mut engines = Vec::with_capacity(bank.len());
-        for (i, &cap) in capacities.iter().enumerate() {
-            let table = bank.table(i);
-            specs.push(base_spec.scaled_to(table.capacity_bytes()));
-            let lvl = if i + 1 == capacities.len() {
-                levels - 1
-            } else {
-                1 + i / cores
-            };
-            let spec = &p.levels[lvl];
-            let sets = cap / 64 / spec.assoc as u64;
-            engines.push(RecalibrationEngine::new(
-                sets,
-                spec.assoc,
-                table.lines(),
-                cfg.recalib_banks,
-                spec.tag_energy_nj.max(spec.data_energy_nj * 0.2),
-                specs[i].access_energy_nj,
-            ));
-        }
-        PredictorState::Multi {
-            bank,
-            specs,
-            engines,
         }
     }
 
@@ -283,7 +195,25 @@ impl<O: SimObserver> System<O> {
         // and report it directly, with no traversal bookkeeping. (On a hit
         // there are no fills, writebacks, probes, or predictor events.)
         if self.hierarchy.try_first_hit(core, block, store) {
-            self.energy.add_level(0, self.l1_hit_nj);
+            if self.custom_l1 {
+                // WayMemo consults the memo on every L1 access: a memoized
+                // hit reads a single way (cheaper); a miss reads all ways
+                // at the standard price and records the block. Latency is
+                // unchanged either way — the optimization is energy-only.
+                let PredictorState::Custom(p) = &mut self.predictor else {
+                    unreachable!("custom_l1 implies a custom predictor")
+                };
+                self.pred_stats.lookups += 1;
+                if p.l1_hit_memoized(core, block) {
+                    self.pred_stats.bypasses += 1;
+                    self.energy.add_level(0, self.way_hit_nj);
+                    metrics::PRED_MEMO_SKIPS.incr();
+                } else {
+                    self.energy.add_level(0, self.l1_hit_nj);
+                }
+            } else {
+                self.energy.add_level(0, self.l1_hit_nj);
+            }
             let latency = self.l1_hit_cycles;
             self.clocks[core] += latency as f64;
             if O::ENABLED {
@@ -467,7 +397,122 @@ impl<O: SimObserver> System<O> {
                 }
                 _ => unreachable!("Redhip/Cbf always instantiate a predictor"),
             },
+            Mechanism::LevelPred | Mechanism::Perceptron | Mechanism::WayMemo => {
+                self.dispatch_custom(core, block, store, t);
+            }
         }
+    }
+
+    /// Registry-mechanism dispatch. The walk below always runs in exact
+    /// Base order, so hierarchy *state* (fills, promotions, evictions,
+    /// LRU) is identical to Base; the steer only rewrites which array
+    /// lookups get *charged*. The charged list keeps exactly one
+    /// `(level, hit=true)` entry — at the actual service level — iff the
+    /// request hit on chip, so per-level hit totals are conserved against
+    /// Base; steering probes that did not serve the data are charged as
+    /// tag-resolving `(level, false)` accesses.
+    fn dispatch_custom(&mut self, core: usize, block: u64, store: bool, t: &mut Traversal) {
+        // Swap the predictor out so `self.walk` can borrow the rest of
+        // the machine; restored below.
+        let mut state = std::mem::replace(&mut self.predictor, PredictorState::None);
+        let PredictorState::Custom(p) = &mut state else {
+            unreachable!("registry mechanisms always instantiate a custom predictor")
+        };
+        self.pred_stats.lookups += 1;
+        metrics::PRED_PROBES.incr();
+        if self.cfg.count_prediction_overhead {
+            // Equal-area comparison: the contender's probe is charged at
+            // the prediction table's access energy and latency.
+            self.energy.add_predictor(self.pt_spec.access_energy_nj);
+            self.clocks[core] += self.pt_spec.lookup_latency() as f64;
+        }
+        if p.observes_l1_hits() && p.l1_stale_memo(core, block) {
+            // A stale memo entry read a single way before discovering the
+            // miss: charge the wasted way read plus the stale penalty.
+            self.energy.add_level(0, self.way_hit_nj);
+            self.clocks[core] += p.mispredict_penalty_cycles() as f64;
+            self.pred_stats.false_positives += 1;
+            self.obs.on_false_positive(core);
+            metrics::PRED_MISPREDICTS.incr();
+        }
+        let steer = p.probe(core, block);
+        let hit = self.walk(core, block, store, t);
+        p.train(
+            core,
+            block,
+            WalkOutcome {
+                hit_level: t.hit_level,
+            },
+        );
+        match steer {
+            Steer::Walk => {
+                // Charged exactly as walked — the Base lookup list.
+                if hit {
+                    self.pred_stats.walk_hits += 1;
+                    self.obs.on_walk_hit(core);
+                } else {
+                    self.pred_stats.false_positives += 1;
+                    self.obs.on_false_positive(core);
+                }
+            }
+            Steer::Level(lvl) if t.hit_level == Some(lvl) => {
+                // Correct steer: the only charged lookups are the L1 miss
+                // and the direct access to the predicted level.
+                metrics::PRED_STEERED.incr();
+                self.steer_buf.clear();
+                self.steer_buf.push((lvl, true));
+                self.rewrite_lookups(t);
+                self.pred_stats.walk_hits += 1;
+                self.obs.on_walk_hit(core);
+            }
+            Steer::Level(lvl) => {
+                // Wrong steer: the direct access tag-misses, then the
+                // machine falls back to the full walk and pays a penalty.
+                metrics::PRED_STEERED.incr();
+                metrics::PRED_MISPREDICTS.incr();
+                self.steer_buf.clear();
+                self.steer_buf.push((lvl, false));
+                self.steer_buf.extend(t.lookups.iter().skip(1).copied());
+                self.rewrite_lookups(t);
+                self.clocks[core] += p.mispredict_penalty_cycles() as f64;
+                self.pred_stats.false_positives += 1;
+                self.obs.on_false_positive(core);
+            }
+            Steer::OffChip if !hit => {
+                // Correct off-chip steer: one LLC tag probe validates the
+                // bypass (no no-false-negative guarantee to lean on), then
+                // memory serves the request.
+                metrics::PRED_STEERED.incr();
+                self.steer_buf.clear();
+                self.steer_buf.push((self.hierarchy.llc_level(), false));
+                self.rewrite_lookups(t);
+                self.pred_stats.bypasses += 1;
+                self.obs.on_bypass(core);
+            }
+            Steer::OffChip => {
+                // The LLC validation probe tag-resolves the block on chip:
+                // the bypass is cancelled, the full walk is paid, plus the
+                // penalty.
+                metrics::PRED_STEERED.incr();
+                metrics::PRED_MISPREDICTS.incr();
+                self.steer_buf.clear();
+                self.steer_buf.push((self.hierarchy.llc_level(), false));
+                self.steer_buf.extend(t.lookups.iter().skip(1).copied());
+                self.rewrite_lookups(t);
+                self.clocks[core] += p.mispredict_penalty_cycles() as f64;
+                self.pred_stats.false_positives += 1;
+                self.obs.on_false_positive(core);
+            }
+        }
+        self.predictor = state;
+    }
+
+    /// Replaces `t.lookups` with the L1 miss followed by `steer_buf` (the
+    /// charged list `dispatch_custom` assembled).
+    fn rewrite_lookups(&mut self, t: &mut Traversal) {
+        t.lookups.clear();
+        t.lookups.push((0, false));
+        t.lookups.extend(self.steer_buf.iter().copied());
     }
 
     /// Walks every level below L1 in order; promotes on hit. Returns
@@ -639,6 +684,13 @@ impl<O: SimObserver> System<O> {
                     charged_nj = total_nj;
                     charged_cycles = max_cycles;
                 }
+            }
+            PredictorState::Custom(p) => {
+                // Registry predictors scrub against LLC residency like the
+                // table does; their scrub is a metadata sweep with no
+                // dedicated engine model yet, so no energy/stall is
+                // charged (mirrors Oracle's free knowledge refresh).
+                p.recalibrate(&mut self.hierarchy.llc().resident_blocks());
             }
             _ => {}
         }

@@ -110,6 +110,7 @@ impl CellSpec {
         };
         metrics::RunManifest {
             mechanism: self.cfg.mechanism.name().to_string(),
+            predictor_spec: sim::predictor::spec_string(&self.cfg),
             workload,
             seed,
             config_hash: self.content_hash(),
@@ -220,6 +221,27 @@ mod tests {
                 assert_ne!(keys[i], keys[j]);
             }
         }
+    }
+
+    #[test]
+    fn predictor_parameters_never_alias_in_key_hash_or_manifest() {
+        // Regression: two LevelPred cells differing only in confidence
+        // threshold once hashed to the same cache slot because the key
+        // omitted predictor parameters. The canonical key, content hash,
+        // and manifest spec must all separate them.
+        let mut lo = demo_cfg(Mechanism::LevelPred);
+        lo.level_pred.conf_threshold = 2;
+        let mut hi = demo_cfg(Mechanism::LevelPred);
+        hi.level_pred.conf_threshold = 6;
+        let a = CellSpec::new(&lo, Benchmark::Mcf, Scale::Smoke);
+        let b = CellSpec::new(&hi, Benchmark::Mcf, Scale::Smoke);
+        assert_ne!(a.canonical_key(), b.canonical_key());
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_ne!(a.manifest().predictor_spec, b.manifest().predictor_spec);
+        assert_eq!(
+            a.manifest().predictor_spec,
+            "level-pred:conf=2,max=3,penalty=8"
+        );
     }
 
     #[test]

@@ -21,12 +21,15 @@ use minijson::ToJson;
 use sim::{run_traces, run_traces_par, CoreTrace, IntraOptions, Mechanism, SimConfig};
 use std::path::PathBuf;
 
-const MECHANISMS: [Mechanism; 5] = [
+const MECHANISMS: [Mechanism; 8] = [
     Mechanism::Base,
     Mechanism::Phased,
     Mechanism::Cbf,
     Mechanism::Redhip,
     Mechanism::Oracle,
+    Mechanism::LevelPred,
+    Mechanism::Perceptron,
+    Mechanism::WayMemo,
 ];
 
 const WORKLOADS: [&str; 3] = ["stream", "zipf", "chase"];
@@ -138,9 +141,10 @@ fn golden_run_results_are_reproduced_byte_identically() {
 /// Every golden, reproduced through the intra-run parallel entry point at
 /// several thread counts, must still match the snapshots byte for byte —
 /// the bound–weave engine's determinism contract, pinned against the same
-/// files the sequential hot path is pinned against. (Phased is outside
-/// the engine's envelope and exercises the documented sequential
-/// fallback; the other four run the engine proper at jobs > 1.)
+/// files the sequential hot path is pinned against. (Phased and the
+/// registry mechanisms — LevelPred, Perceptron, WayMemo — are outside the
+/// engine's envelope and exercise the documented sequential fallback; the
+/// other four run the engine proper at jobs > 1.)
 #[test]
 fn golden_run_results_match_at_every_intra_jobs() {
     if std::env::var_os("REGEN_GOLDEN").is_some() {
@@ -192,10 +196,7 @@ fn golden_snapshots_are_complete_run_results() {
             }
             // Predictor mechanisms must actually exercise the predictor in
             // their goldens, or the differential test pins nothing.
-            if matches!(
-                mechanism,
-                Mechanism::Redhip | Mechanism::Cbf | Mechanism::Oracle
-            ) {
+            if mechanism.has_predictor() || mechanism == Mechanism::Oracle {
                 assert!(
                     doc.get("prediction").unwrap().u64_of("lookups").unwrap() > 0,
                     "{name}: predictor never consulted"

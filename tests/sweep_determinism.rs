@@ -31,6 +31,7 @@ fn plan_figure_set(
     plan: &mut SweepPlan,
 ) -> (
     figures::MatrixPlan,
+    figures::MatrixPlan,
     figures::Fig11Plan,
     figures::Fig12Plan,
     figures::Fig13Plan,
@@ -38,6 +39,7 @@ fn plan_figure_set(
 ) {
     (
         figures::plan_matrix(s, plan),
+        figures::plan_shootout(s, plan),
         figures::plan_fig11(s, plan),
         figures::plan_fig12(s, plan),
         figures::plan_fig13(s, plan),
@@ -49,10 +51,11 @@ fn plan_figure_set(
 /// the byte-level artifact the determinism guarantee is stated over.
 fn render_figure_set(s: &Settings, engine: &SweepEngine) -> (String, u64, u64) {
     let mut plan = SweepPlan::new();
-    let (mp, p11, p12, p13, p1415) = plan_figure_set(s, &mut plan);
+    let (mp, sp, p11, p12, p13, p1415) = plan_figure_set(s, &mut plan);
     let dedup = plan.dedup_hits();
     let res = engine.run(&plan, "[test] sweep").expect("sweep runs");
     let m = figures::matrix_from(s, &mp, &res);
+    let sm = figures::matrix_from(s, &sp, &res);
     let mut out = String::new();
     for f in [
         figures::fig6(&m),
@@ -60,6 +63,7 @@ fn render_figure_set(s: &Settings, engine: &SweepEngine) -> (String, u64, u64) {
         figures::fig8(&m),
         figures::fig9(&m),
         figures::fig10(&m),
+        figures::shootout(&sm),
         figures::fig11_from(s, &p11, &res),
         figures::fig12_from(s, &p12, &res),
         figures::fig13_from(s, &p13, &res),
@@ -160,12 +164,15 @@ fn disk_cache_rehydration_is_byte_identical() {
 // workers. The committed snapshots must be reproduced byte-identically —
 // the pool adds no nondeterminism to the simulator.
 
-const GOLDEN_MECHANISMS: [Mechanism; 5] = [
+const GOLDEN_MECHANISMS: [Mechanism; 8] = [
     Mechanism::Base,
     Mechanism::Phased,
     Mechanism::Cbf,
     Mechanism::Redhip,
     Mechanism::Oracle,
+    Mechanism::LevelPred,
+    Mechanism::Perceptron,
+    Mechanism::WayMemo,
 ];
 const GOLDEN_WORKLOADS: [&str; 3] = ["stream", "zipf", "chase"];
 const GOLDEN_CORES: usize = 2;
